@@ -1,0 +1,73 @@
+"""Ablation — reduced versus full action space (paper Section 4.3.2).
+
+The paper argues for the reduced action space (battery current only, with
+gear and auxiliary power chosen by an inner instantaneous optimisation)
+because TD(lambda)'s complexity and convergence are proportional to the
+number of state-action pairs, and because it frees ``p_aux`` from
+discretisation.  This bench trains both spaces with the same budget on
+SC03 and compares state-action counts, wall time, and final performance.
+
+Expected shape: the reduced space has orders of magnitude fewer
+state-action pairs and reaches an equal or better greedy reward within the
+same training budget.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import RLController
+from repro.powertrain import PowertrainSolver
+from repro.rl.agent import ActionSpaceConfig, JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.prediction import ExponentialPredictor
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+EPISODES = ablation_episodes(30)
+
+
+def _train(reduced: bool):
+    solver = PowertrainSolver(default_vehicle())
+    agent = JointControlAgent(
+        solver,
+        action_config=ActionSpaceConfig(reduced=reduced, aux_candidates=4),
+        predictor=ExponentialPredictor(),
+        exploration=EpsilonGreedy(seed=SEED), seed=SEED)
+    simulator = Simulator(solver)
+    start = time.perf_counter()
+    run = train(simulator, RLController(agent), bench_cycle("SC03"),
+                episodes=EPISODES)
+    elapsed = time.perf_counter() - start
+    pairs = agent.discretizer.num_states * agent.num_rl_actions
+    return run.evaluation, pairs, elapsed
+
+
+@pytest.mark.benchmark(group="ablation-action-space")
+def test_ablation_action_space(benchmark):
+    results = {}
+
+    def run_all():
+        results["reduced"] = _train(reduced=True)
+        results["full"] = _train(reduced=False)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    for label, (evaluation, pairs, elapsed) in results.items():
+        rows[label] = [float(pairs), evaluation.total_paper_reward,
+                       evaluation.corrected_mpg(), elapsed]
+    report("ablation_action_space", render_table(
+        f"Ablation: action space (SC03 x2, {EPISODES} episodes)",
+        ["S-A pairs", "Reward", "MPG", "Train s"], rows))
+
+    red_eval, red_pairs, _ = results["reduced"]
+    full_eval, full_pairs, _ = results["full"]
+    assert red_pairs * 10 <= full_pairs, \
+        "reduced space must shrink the state-action product dramatically"
+    assert (red_eval.total_paper_reward
+            >= full_eval.total_paper_reward - 15.0), \
+        "reduced space must converge at least as well in equal budget"

@@ -1,0 +1,68 @@
+"""Ablation — the full baseline ladder on one cycle.
+
+Orders every controller in the repository on the same drive: thermostat
+(bang-bang), tuned rule-based [5], the trained RL joint controller
+(proposed), ECMS, and the offline DP bound.  A sanity anchor for all other
+benches: the ladder must be monotone from crude to clairvoyant on the
+joint objective.
+"""
+
+import pytest
+
+from benchmarks.common import SEED, bench_cycle, bench_episodes, report
+from repro.analysis import render_table
+from repro.control import (
+    DPConfig,
+    DPController,
+    ECMSController,
+    RuleBasedController,
+    ThermostatController,
+    solve_dp,
+)
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate, train
+from repro.vehicle import default_vehicle
+
+
+@pytest.mark.benchmark(group="ablation-baselines")
+def test_ablation_baseline_ladder(benchmark):
+    cycle_x2 = bench_cycle("SC03")
+    dp_cycle = standard_cycle("SC03")  # single pass keeps DP affordable
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    results = {}
+
+    def run_all():
+        results["thermostat"] = evaluate(
+            simulator, ThermostatController(solver), cycle_x2)
+        results["rule-based"] = evaluate(
+            simulator, RuleBasedController(solver), cycle_x2)
+        results["ecms"] = evaluate(simulator, ECMSController(solver),
+                                   cycle_x2)
+        rl = build_rl_controller(solver, seed=SEED)
+        run = train(simulator, rl, cycle_x2, episodes=bench_episodes(40))
+        results["rl (proposed)"] = run.evaluation
+        dp_config = DPConfig(soc_nodes=13, current_levels=9, aux_levels=3)
+        solution = solve_dp(solver, dp_cycle, config=dp_config)
+        results["dp bound (x1 cycle)"] = evaluate(
+            simulator, DPController(solver, solution, config=dp_config),
+            dp_cycle)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {label: [res.corrected_fuel(), res.corrected_mpg(),
+                    res.total_paper_reward, res.final_soc]
+            for label, res in results.items()}
+    report("ablation_baselines", render_table(
+        "Ablation: baseline ladder (SC03)",
+        ["Fuel g (corr)", "MPG (corr)", "Reward", "Final SoC"], rows))
+
+    # Ladder shape on corrected fuel (the x2 runs are directly comparable).
+    thermo = results["thermostat"].corrected_fuel()
+    rules = results["rule-based"].corrected_fuel()
+    ecms = results["ecms"].corrected_fuel()
+    assert ecms <= rules * 1.02, "ECMS must not lose to threshold rules"
+    assert rules <= thermo * 1.05, "tuned rules must not lose to bang-bang"

@@ -1,0 +1,60 @@
+"""Ablation — discount-rate gamma sweep (Eq. 11).
+
+With the charge-sustaining shaping already pricing battery energy into each
+step's reward, most of the long-horizon credit is local; this sweep shows
+how far the discount can drop before the controller turns harmfully myopic
+and how much a near-1 discount costs in convergence under a fixed budget.
+"""
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import RLController
+from repro.powertrain import PowertrainSolver
+from repro.prediction import ExponentialPredictor
+from repro.rl.agent import JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.rl.td_lambda import TDLambdaConfig
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+DISCOUNTS = (0.5, 0.8, 0.9, 0.97)
+EPISODES = ablation_episodes(20)
+
+
+def _train(gamma: float):
+    solver = PowertrainSolver(default_vehicle())
+    agent = JointControlAgent(
+        solver, td_config=TDLambdaConfig(discount=gamma),
+        predictor=ExponentialPredictor(),
+        exploration=EpsilonGreedy(seed=SEED), seed=SEED)
+    run = train(Simulator(solver), RLController(agent), bench_cycle("SC03"),
+                episodes=EPISODES)
+    return run.evaluation
+
+
+@pytest.mark.benchmark(group="ablation-discount")
+def test_ablation_discount(benchmark):
+    results = {}
+
+    def run_all():
+        for gamma in DISCOUNTS:
+            results[gamma] = _train(gamma)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {f"gamma={g}": [results[g].total_paper_reward,
+                           results[g].corrected_mpg()]
+            for g in DISCOUNTS}
+    report("ablation_discount", render_table(
+        f"Ablation: discount rate gamma (SC03 x2, {EPISODES} episodes)",
+        ["Reward", "MPG"], rows))
+
+    # Shape: the default mid-range gamma must not lose badly to either
+    # extreme under the tight budget.
+    default_reward = results[0.8].total_paper_reward
+    assert default_reward >= min(
+        results[0.5].total_paper_reward,
+        results[0.97].total_paper_reward) - 15.0

@@ -1,0 +1,78 @@
+"""Ablation — state-discretisation granularity (paper Sections 4.2/4.3.1).
+
+The paper's central complexity argument: finer state discretisation adds
+information but multiplies the state-action pairs TD(lambda) must visit.
+This bench trains coarse / default / fine discretisations with an equal
+budget.
+
+Expected shape: under the tight equal budget, coarser wins — the coarsest
+grid must beat the finest (the paper's convergence-versus-resolution
+trade-off made visible).  The default grid trades some of that early speed
+for the resolution the longer main-bench runs exploit.
+"""
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import RLController
+from repro.powertrain import PowertrainSolver
+from repro.prediction import ExponentialPredictor
+from repro.rl.agent import JointControlAgent
+from repro.rl.discretize import StateDiscretizer
+from repro.rl.exploration import EpsilonGreedy
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+EPISODES = ablation_episodes(25)
+
+GRIDS = {
+    "coarse": dict(power_edges=(500.0, 8_000.0), speed_edges=(8.0,),
+                   soc_bins=4),
+    "default": {},
+    "fine": dict(power_edges=(-8000.0, -3000.0, -500.0, 500.0, 2000.0,
+                              4000.0, 7000.0, 10_000.0, 14_000.0, 19_000.0,
+                              25_000.0),
+                 speed_edges=(0.5, 3.0, 6.0, 9.0, 12.0, 16.0, 20.0, 25.0),
+                 soc_bins=16),
+}
+
+
+def _train(grid_kwargs):
+    solver = PowertrainSolver(default_vehicle())
+    battery = solver.params.battery
+    discretizer = StateDiscretizer(
+        soc_min=battery.soc_min, soc_max=battery.soc_max,
+        prediction_levels=3, **grid_kwargs)
+    agent = JointControlAgent(
+        solver, discretizer=discretizer, predictor=ExponentialPredictor(),
+        exploration=EpsilonGreedy(seed=SEED), seed=SEED)
+    run = train(Simulator(solver), RLController(agent), bench_cycle("SC03"),
+                episodes=EPISODES)
+    return run.evaluation, discretizer.num_states
+
+
+@pytest.mark.benchmark(group="ablation-discretization")
+def test_ablation_discretization(benchmark):
+    results = {}
+
+    def run_all():
+        for label, kwargs in GRIDS.items():
+            results[label] = _train(kwargs)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    for label, (evaluation, states) in results.items():
+        rows[label] = [float(states), evaluation.total_paper_reward,
+                       evaluation.corrected_mpg()]
+    report("ablation_discretization", render_table(
+        f"Ablation: state discretisation (SC03 x2, {EPISODES} episodes)",
+        ["States", "Reward", "MPG"], rows))
+
+    coarse_reward = results["coarse"][0].total_paper_reward
+    fine_reward = results["fine"][0].total_paper_reward
+    assert coarse_reward >= fine_reward - 10.0, \
+        "the coarsest grid must beat the finest under a tight budget " \
+        "(convergence is proportional to the state-action count)"

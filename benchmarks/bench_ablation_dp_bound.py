@@ -1,0 +1,67 @@
+"""Ablation — offline dynamic-programming bound versus online controllers.
+
+The DP solve knows the whole cycle in advance and optimises the joint
+objective globally, bounding what any online controller (rule-based, ECMS,
+RL) can achieve.  Run on a shortened cycle to keep the backward induction
+affordable.
+
+Expected shape on the joint cost (fuel grams with SoC correction):
+DP <= ECMS <= rule-based (up to grid resolution), with the trained RL
+between rule-based and DP.
+"""
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, report
+from repro.analysis import render_table
+from repro.control import (
+    DPConfig,
+    DPController,
+    ECMSController,
+    RuleBasedController,
+    solve_dp,
+)
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate, train
+from repro.vehicle import default_vehicle
+
+EPISODES = ablation_episodes(30)
+
+
+@pytest.mark.benchmark(group="ablation-dp")
+def test_ablation_dp_bound(benchmark):
+    cycle = standard_cycle("SC03")  # single pass: DP cost is O(T x nodes)
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    results = {}
+
+    def run_all():
+        dp_config = DPConfig(soc_nodes=15, current_levels=11, aux_levels=3)
+        solution = solve_dp(solver, cycle, config=dp_config)
+        results["dp (offline bound)"] = evaluate(
+            simulator, DPController(solver, solution, config=dp_config),
+            cycle)
+        results["ecms"] = evaluate(simulator, ECMSController(solver), cycle)
+        results["rule-based"] = evaluate(simulator,
+                                         RuleBasedController(solver), cycle)
+        rl = build_rl_controller(solver, seed=SEED)
+        run = train(simulator, rl, cycle, episodes=EPISODES)
+        results["rl (proposed)"] = run.evaluation
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {label: [res.corrected_fuel(), res.corrected_mpg(),
+                    res.total_paper_reward]
+            for label, res in results.items()}
+    report("ablation_dp_bound", render_table(
+        "Ablation: DP bound vs online controllers (SC03 x1)",
+        ["Fuel g (corr)", "MPG (corr)", "Reward"], rows))
+
+    dp_fuel = results["dp (offline bound)"].corrected_fuel()
+    for label, res in results.items():
+        if label != "dp (offline bound)":
+            assert dp_fuel <= res.corrected_fuel() * 1.08, \
+                f"DP bound must not lose to {label}"

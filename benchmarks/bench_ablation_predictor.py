@@ -1,0 +1,78 @@
+"""Ablation — predictor choice (paper Section 4.2).
+
+The paper adopts the exponential weighting function (Eq. 12) over heavier
+predictors (e.g. an ANN) as the best effectiveness/complexity trade-off.
+This bench trains the full agent with each predictor plugged into the
+state and compares the resulting control quality under a deliberately
+tight budget.
+
+Expected shape: at a tight budget every prediction dimension *costs*
+convergence (it multiplies the state count — the paper's own complexity
+warning), so "none"/cheap predictors are competitive here and nothing may
+collapse; the exponential predictor must stay within a modest band of the
+best.  The prediction *payoff* is measured where the paper measures it —
+Fig. 2's full-budget runs (bench_fig2_prediction.py).
+"""
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import RLController
+from repro.powertrain import PowertrainSolver
+from repro.prediction import (
+    ExponentialPredictor,
+    MarkovPredictor,
+    MLPPredictor,
+    VelocityPredictor,
+)
+from repro.rl.agent import JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+EPISODES = ablation_episodes(25)
+
+PREDICTORS = {
+    "none": lambda solver: None,
+    "exponential": lambda solver: ExponentialPredictor(),
+    "markov": lambda solver: MarkovPredictor(),
+    "mlp": lambda solver: MLPPredictor(),
+    "velocity": lambda solver: VelocityPredictor(solver.dynamics),
+}
+
+
+def _train(factory):
+    solver = PowertrainSolver(default_vehicle())
+    agent = JointControlAgent(
+        solver, predictor=factory(solver),
+        exploration=EpsilonGreedy(seed=SEED), seed=SEED)
+    run = train(Simulator(solver), RLController(agent), bench_cycle("OSCAR"),
+                episodes=EPISODES)
+    return run.evaluation
+
+
+@pytest.mark.benchmark(group="ablation-predictor")
+def test_ablation_predictor(benchmark):
+    results = {}
+
+    def run_all():
+        for label, factory in PREDICTORS.items():
+            results[label] = _train(factory)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {label: [res.corrected_paper_reward(), res.corrected_mpg()]
+            for label, res in results.items()}
+    report("ablation_predictor", render_table(
+        f"Ablation: predictor choice (OSCAR x2, {EPISODES} episodes)",
+        ["Corr. reward", "MPG"], rows))
+
+    exp_reward = results["exponential"].corrected_paper_reward()
+    best = max(res.corrected_paper_reward() for res in results.values())
+    worst = min(res.corrected_paper_reward() for res in results.values())
+    assert exp_reward >= best - 60.0, \
+        "the exponential predictor must stay within a modest band of the best"
+    assert worst >= best - 150.0, \
+        "no predictor choice should collapse outright"

@@ -1,0 +1,62 @@
+"""Ablation — auxiliary-utility weight ``w`` sweep (paper Section 4.3.3).
+
+The weighting factor ``w`` sets the relative importance of fuel versus
+auxiliary comfort in the joint reward.  The bench trains at several ``w``
+values on SC03 (the EPA air-conditioning cycle) and reports the trade-off
+frontier.
+
+Expected shape: the mean absolute deviation of ``p_aux`` from the
+preferred 600 W shrinks monotonically (in trend) as ``w`` grows, while
+fuel consumption grows — the knob trades one for the other.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, bench_cycle, report
+from repro.analysis import render_table
+from repro.control.rl_controller import build_rl_controller
+from repro.powertrain import PowertrainSolver
+from repro.rl.reward import RewardConfig
+from repro.sim import Simulator, train
+from repro.vehicle import default_vehicle
+
+WEIGHTS = (0.0, 0.1, 0.3, 1.0)
+EPISODES = ablation_episodes(25)
+
+
+def _train(weight: float):
+    solver = PowertrainSolver(default_vehicle())
+    controller = build_rl_controller(
+        solver, reward_config=RewardConfig(aux_weight=weight), seed=SEED)
+    run = train(Simulator(solver), controller, bench_cycle("SC03"),
+                episodes=EPISODES)
+    return run.evaluation
+
+
+@pytest.mark.benchmark(group="ablation-weight")
+def test_ablation_aux_weight(benchmark):
+    results = {}
+
+    def run_all():
+        for w in WEIGHTS:
+            results[w] = _train(w)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    deviations = {}
+    for w, res in results.items():
+        deviation = float(np.mean(np.abs(res.aux_power - 600.0)))
+        deviations[w] = deviation
+        rows[f"w={w}"] = [res.corrected_fuel(), res.mean_aux_power,
+                          deviation]
+    report("ablation_weight", render_table(
+        f"Ablation: aux weight w (SC03 x2, {EPISODES} episodes)",
+        ["Fuel g", "Mean p_aux W", "|p_aux-600| W"], rows))
+
+    # Shape: a large w must track the preferred power much more tightly
+    # than w = 0.
+    assert deviations[1.0] < deviations[0.0], \
+        "increasing w must pull p_aux toward the preferred draw"

@@ -1,0 +1,55 @@
+"""Figure 3 — MPG: proposed joint control vs rule-based.
+
+Paper: "Figure 3 shows the corresponding MPG values from the two policies
+for different driving profiles.  The proposed framework achieves up to 29%
+MPG improvement."
+
+The runs are the same four training sessions as Table 2 (shared via the
+bench cache, exactly as the paper reports two views of one experiment).
+MPG is SoC-corrected so the two controllers are charge-fair.
+
+Expected shape: proposed >= rule-based on most cycles, with the largest
+improvements on the urban profiles and a clearly positive best case.
+"""
+
+import pytest
+
+from benchmarks.common import report, rule_based_result, trained_rl_result
+from repro.analysis import improvement_percent, render_table
+
+CYCLES = ("OSCAR", "UDDS", "SC03", "HWFET")
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_mpg(benchmark):
+    """Regenerate Figure 3 and check its shape."""
+    results = {}
+
+    def run_all():
+        for name in CYCLES:
+            results[name] = (trained_rl_result(name, "proposed"),
+                             rule_based_result(name))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    improvements = {}
+    for name, (rl, rule) in results.items():
+        rl_mpg = rl.corrected_mpg()
+        rule_mpg = rule.corrected_mpg()
+        rows[name] = [rl_mpg, rule_mpg]
+        improvements[name] = improvement_percent(rl_mpg, rule_mpg)
+
+    report("fig3_mpg", render_table(
+        "Figure 3: MPG (SoC-corrected)", ["Proposed", "Rule-based"], rows,
+        precision=1)
+        + "\nMPG improvement: "
+        + ", ".join(f"{k}={v:+.1f}%" for k, v in improvements.items())
+        + "\nPaper: improvement up to 29%")
+
+    wins = sum(1 for v in improvements.values() if v > -1.0)
+    assert wins >= 3, \
+        f"proposed must match or beat rule-based MPG on most cycles ({wins}/4)"
+    assert max(improvements.values()) > 3.0, \
+        "best-case MPG improvement should be clearly positive"

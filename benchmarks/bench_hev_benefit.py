@@ -1,0 +1,75 @@
+"""Extension bench — the hybridisation benefit itself.
+
+The paper's introduction motivates HEVs with their fuel-economy advantage
+over conventional ICE vehicles.  This bench quantifies that advantage on
+our own substrate: the same vehicle driven conventionally (no regen, no
+assist), by the rule-based hybrid strategy, and by the trained RL joint
+controller, on an urban and a highway cycle.
+
+Expected shape: hybrid > conventional everywhere, with the hybrid benefit
+much larger on the urban cycle (regen + engine-off idling) than on the
+highway — the classic HEV signature.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    SEED,
+    ablation_episodes,
+    bench_cycle,
+    report,
+    rule_based_result,
+    trained_rl_result,
+)
+from repro.analysis import improvement_percent, render_table
+from repro.control import ConventionalController
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate_stationary
+from repro.vehicle import default_vehicle
+
+CYCLES = ("UDDS", "HWFET")
+
+
+def _conventional(cycle_name: str):
+    solver = PowertrainSolver(default_vehicle())
+    return evaluate_stationary(Simulator(solver),
+                               ConventionalController(solver),
+                               bench_cycle(cycle_name), settle_passes=2)
+
+
+@pytest.mark.benchmark(group="hev-benefit")
+def test_hev_benefit(benchmark):
+    results = {}
+
+    def run_all():
+        for name in CYCLES:
+            results[name] = {
+                "conventional": _conventional(name),
+                "rule-based hybrid": rule_based_result(name),
+                "rl hybrid (proposed)": trained_rl_result(name, "proposed"),
+            }
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    for cycle_name, per in results.items():
+        for label, res in per.items():
+            rows[f"{cycle_name} / {label}"] = [res.corrected_mpg(),
+                                               res.corrected_fuel()]
+    gains = {name: improvement_percent(
+        per["rule-based hybrid"].corrected_mpg(),
+        per["conventional"].corrected_mpg()) for name, per in results.items()}
+    report("hev_benefit", render_table(
+        "Extension: hybridisation benefit", ["MPG (corr)", "Fuel g (corr)"],
+        rows)
+        + "\nRule-based hybrid vs conventional MPG: "
+        + ", ".join(f"{k}={v:+.1f}%" for k, v in gains.items()))
+
+    for name, per in results.items():
+        conventional = per["conventional"].corrected_fuel()
+        for label in ("rule-based hybrid", "rl hybrid (proposed)"):
+            assert per[label].corrected_fuel() < conventional, \
+                f"{label} must beat conventional on {name}"
+    assert gains["UDDS"] > gains["HWFET"], \
+        "the hybrid benefit must be larger in the city than on the highway"

@@ -1,0 +1,70 @@
+"""Table 1 — HEV key parameters (and solver throughput).
+
+The paper's Table 1 lists the simulated vehicle's key parameters (the
+published table is an image; our parameter set follows ADVISOR Prius-class
+defaults, documented in ``repro/vehicle/params.py``).  This bench prints
+the full parameter table and times the quantity that makes or breaks the
+whole reproduction: batched powertrain-solver evaluations per second.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import report
+from repro.powertrain import PowertrainSolver
+from repro.units import rads_to_rpm
+from repro.vehicle import default_vehicle
+
+
+def _print_table(params) -> None:
+    rows = [
+        ("Vehicle mass", f"{params.body.mass:.0f} kg"),
+        ("Air drag coefficient C_D", f"{params.body.drag_coefficient:.2f}"),
+        ("Frontal area A_F", f"{params.body.frontal_area:.1f} m^2"),
+        ("Rolling resistance C_R", f"{params.body.rolling_resistance:.3f}"),
+        ("Wheel radius r_wh", f"{params.body.wheel_radius:.3f} m"),
+        ("ICE max power", f"{params.engine.max_power / 1000:.0f} kW"),
+        ("ICE max torque", f"{params.engine.max_torque:.0f} N*m"),
+        ("ICE speed range",
+         f"{rads_to_rpm(params.engine.min_speed):.0f}-"
+         f"{rads_to_rpm(params.engine.max_speed):.0f} rpm"),
+        ("ICE peak efficiency", f"{params.engine.peak_efficiency:.2f}"),
+        ("EM max power", f"{params.motor.max_power / 1000:.0f} kW"),
+        ("EM max torque", f"{params.motor.max_torque:.0f} N*m"),
+        ("Battery capacity",
+         f"{params.battery.capacity / 3600:.1f} Ah"),
+        ("Battery nominal voltage",
+         f"{(params.battery.voltage_at_empty + params.battery.voltage_at_full) / 2:.0f} V"),
+        ("Battery SoC window",
+         f"{params.battery.soc_min:.0%}-{params.battery.soc_max:.0%}"),
+        ("Battery current limit", f"{params.battery.max_current:.0f} A"),
+        ("Gear ratios (incl. final drive)",
+         ", ".join(f"{r:.2f}" for r in params.transmission.gear_ratios)),
+        ("EM reduction ratio", f"{params.transmission.reduction_ratio:.2f}"),
+        ("Preferred auxiliary power",
+         f"{params.auxiliary.preferred_power:.0f} W"),
+        ("Auxiliary power range",
+         f"{params.auxiliary.min_power:.0f}-{params.auxiliary.max_power:.0f} W"),
+    ]
+    width = max(len(k) for k, _ in rows) + 2
+    lines = ["Table 1: HEV key parameters", "-" * (width + 20)]
+    lines.extend(f"  {key.ljust(width)}{value}" for key, value in rows)
+    report("table1_parameters", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_parameters_and_solver_throughput(benchmark):
+    """Print Table 1 and measure solver batch-evaluation throughput."""
+    params = default_vehicle()
+    solver = PowertrainSolver(params)
+    currents = np.linspace(-60.0, 60.0, 9).repeat(35)
+    gears = np.tile(np.repeat(np.arange(5), 7), 9)
+    aux = np.tile(np.linspace(200.0, 2000.0, 7), 45)
+
+    def batch_eval():
+        return solver.evaluate_actions(15.0, 0.4, 0.6, currents, gears, aux,
+                                       dt=1.0)
+
+    result = benchmark(batch_eval)
+    assert int(np.sum(result.feasible)) > 0
+    _print_table(params)

@@ -1,0 +1,119 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench builds its controllers and cycles through these helpers so that
+
+* the vehicle, reward weights, and training budget are identical across
+  benches (apples-to-apples with the paper's single experimental setup),
+* expensive training runs are cached per (cycle, variant, episodes, seed)
+  and shared between benches in one pytest session (Table 2 and Fig. 3 are
+  two views of the same four runs, exactly as in the paper), and
+* the training budget can be scaled with ``REPRO_BENCH_EPISODES`` (default
+  60) — smaller for smoke runs, larger for tighter convergence,
+* every controller is scored by *stationary* evaluation
+  (:func:`repro.sim.evaluate_stationary`): a settling pass first, then the
+  reported drive starts at the controller's own settled state of charge, so
+  cumulative rewards are charge-fair.
+
+Evaluation cycles are driven twice back to back (``repeat(2)``): the first
+pass absorbs the battery's state-of-charge transient so cumulative rewards
+are dominated by charge-sustaining behaviour, and the resulting magnitudes
+land in the range of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.control import RuleBasedController, ECMSController
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import DriveCycle, standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.sim import EpisodeResult, Simulator, evaluate_stationary, train
+from repro.vehicle import default_vehicle
+
+SEED = 42
+"""Seed shared by every bench."""
+
+REPORTS = []
+"""Rendered result tables collected for the terminal summary."""
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    """Register a rendered result table.
+
+    The table is printed immediately (visible with ``pytest -s``), queued
+    for the end-of-session summary (visible regardless of capture), and
+    written to ``benchmarks/results/<name>.txt`` for later inspection.
+    """
+    print("\n" + text)
+    REPORTS.append(text)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+CYCLE_REPEATS = 2
+"""Back-to-back repetitions of each evaluation cycle."""
+
+
+def bench_episodes(default: int = 60) -> int:
+    """Training budget per run, overridable via ``REPRO_BENCH_EPISODES``."""
+    return int(os.environ.get("REPRO_BENCH_EPISODES", default))
+
+
+def ablation_episodes(default: int) -> int:
+    """Training budget for ablation benches: their own (small) default,
+    shrunk further when ``REPRO_BENCH_EPISODES`` asks for a quicker pass."""
+    return min(bench_episodes(default), default)
+
+
+def bench_cycle(name: str) -> DriveCycle:
+    """The doubled standard cycle used by every bench."""
+    return standard_cycle(name).repeat(CYCLE_REPEATS)
+
+
+_CACHE: Dict[Tuple, EpisodeResult] = {}
+
+
+def trained_rl_result(cycle_name: str, variant: str = "proposed",
+                      episodes: Optional[int] = None,
+                      seed: int = SEED) -> EpisodeResult:
+    """Greedy evaluation of an RL variant trained on a cycle (cached)."""
+    episodes = bench_episodes() if episodes is None else episodes
+    key = ("rl", cycle_name, variant, episodes, seed)
+    if key not in _CACHE:
+        solver = PowertrainSolver(default_vehicle())
+        simulator = Simulator(solver)
+        controller = build_rl_controller(solver, variant=variant, seed=seed)
+        cycle = bench_cycle(cycle_name)
+        train(simulator, controller, cycle, episodes=episodes,
+              evaluate_after=False)
+        _CACHE[key] = evaluate_stationary(simulator, controller, cycle,
+                                          settle_passes=2)
+    return _CACHE[key]
+
+
+def rule_based_result(cycle_name: str) -> EpisodeResult:
+    """Rule-based baseline evaluation on a cycle (cached)."""
+    key = ("rule", cycle_name)
+    if key not in _CACHE:
+        solver = PowertrainSolver(default_vehicle())
+        _CACHE[key] = evaluate_stationary(Simulator(solver),
+                                          RuleBasedController(solver),
+                                          bench_cycle(cycle_name),
+                                          settle_passes=2)
+    return _CACHE[key]
+
+
+def ecms_result(cycle_name: str) -> EpisodeResult:
+    """ECMS baseline evaluation on a cycle (cached)."""
+    key = ("ecms", cycle_name)
+    if key not in _CACHE:
+        solver = PowertrainSolver(default_vehicle())
+        _CACHE[key] = evaluate_stationary(Simulator(solver),
+                                          ECMSController(solver),
+                                          bench_cycle(cycle_name),
+                                          settle_passes=2)
+    return _CACHE[key]

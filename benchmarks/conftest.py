@@ -1,0 +1,18 @@
+"""Pytest wiring for the reproduction benches.
+
+Benches render their tables through :func:`benchmarks.common.report`, which
+collects them for the terminal summary (so they survive pytest's output
+capture) and persists them under ``benchmarks/results/``.
+"""
+
+from benchmarks import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every collected reproduction table after the test summary."""
+    if not common.REPORTS:
+        return
+    terminalreporter.section("reproduction results")
+    for text in common.REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

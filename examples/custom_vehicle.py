@@ -1,0 +1,89 @@
+"""Custom vehicle: a heavier SUV-class hybrid with a measured fuel map.
+
+Shows the two main extension points of the vehicle substrate:
+
+1. building a :class:`VehicleParams` for a different vehicle class (here a
+   ~2.2 t SUV with a bigger engine and pack), and
+2. substituting a *tabulated* engine (an ADVISOR-style gridded fuel map,
+   round-tripped through CSV as a measured map would be) into the solver.
+
+The RL controller is then trained on the custom vehicle without touching
+any controller code — the agent is (partially) model-free, exactly the
+paper's selling point.
+
+Run:  python examples/custom_vehicle.py [--episodes N]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.control import RuleBasedController, build_rl_controller
+from repro.cycles import standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate, train
+from repro.vehicle import (
+    BatteryParams,
+    BodyParams,
+    EngineParams,
+    MotorParams,
+    TransmissionParams,
+    VehicleParams,
+)
+from repro.vehicle.engine import Engine
+from repro.vehicle.maps import EngineMap, TabulatedEngine
+
+
+def suv_params() -> VehicleParams:
+    """A ~2.2 t SUV-class parallel hybrid."""
+    return VehicleParams(
+        body=BodyParams(mass=2200.0, drag_coefficient=0.36,
+                        frontal_area=2.8, rolling_resistance=0.010,
+                        wheel_radius=0.36),
+        engine=EngineParams(max_power=130_000.0, max_torque=240.0,
+                            idle_fuel_rate=0.22),
+        motor=MotorParams(max_power=60_000.0, max_torque=220.0),
+        battery=BatteryParams(capacity=10.0 * 3600.0,
+                              max_current=120.0),
+        transmission=TransmissionParams(
+            gear_ratios=(15.2, 9.1, 6.0, 4.4, 3.4)),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=25)
+    args = parser.parse_args()
+
+    params = suv_params()
+
+    # Tabulate the engine to a gridded map, round-trip it through CSV
+    # (standing in for a measured map file), and substitute it.
+    engine_map = EngineMap.from_engine(Engine(params.engine),
+                                       speed_points=28, torque_points=22)
+    with tempfile.TemporaryDirectory() as tmp:
+        map_path = Path(tmp) / "suv_engine_map.csv"
+        engine_map.to_csv(map_path)
+        loaded = EngineMap.from_csv(map_path)
+    solver = PowertrainSolver(params, engine=TabulatedEngine(loaded))
+    print("SUV hybrid with tabulated engine map "
+          f"({len(loaded.speed_grid)}x{len(loaded.torque_grid)} grid)")
+
+    simulator = Simulator(solver)
+    cycle = standard_cycle("UDDS").repeat(2)
+    controller = build_rl_controller(solver, seed=23)
+    print(f"Training on {cycle} for {args.episodes} episodes...")
+    run = train(simulator, controller, cycle, episodes=args.episodes)
+
+    rule = evaluate(simulator, RuleBasedController(solver), cycle)
+    rl = run.evaluation
+    print(f"\n  RL        : mpg={rl.corrected_mpg():5.1f}  "
+          f"reward={rl.total_paper_reward:8.2f}")
+    print(f"  rule-based: mpg={rule.corrected_mpg():5.1f}  "
+          f"reward={rule.total_paper_reward:8.2f}")
+    print("\n(An SUV lands in the 30-45 MPG band rather than the compact's "
+          "50-60; the\ncontroller adapts to the map with zero code changes.)")
+
+
+if __name__ == "__main__":
+    main()

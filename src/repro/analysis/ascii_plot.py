@@ -1,0 +1,77 @@
+"""Terminal plotting: sparklines and line charts without matplotlib.
+
+The library is deliberately dependency-light; these helpers render SoC
+trajectories, learning curves, and speed traces as Unicode block-character
+plots for the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line block-character rendering of a series.
+
+    The series is resampled to ``width`` columns and mapped onto eight
+    vertical levels; a constant series renders at the middle level.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width < 1:
+        raise ValueError("width must be positive")
+    if arr.size > width:
+        # Block-mean resampling keeps spikes visible better than striding.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray([arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)]
+                          for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[3] * len(arr)
+    idx = ((arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).round()
+    return "".join(_SPARK_LEVELS[int(i)] for i in idx)
+
+
+def line_chart(values: Sequence[float], width: int = 64, height: int = 10,
+               title: str = "", y_format: str = "{:8.2f}") -> str:
+    """Multi-line chart with a y-axis, rendered with asterisks.
+
+    Good enough to see a learning curve's shape in a CI log.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two points to chart")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray([arr[a:b].mean() for a, b in
+                          zip(edges[:-1], edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    grid = np.full((height, len(arr)), " ", dtype="<U1")
+    levels = ((arr - lo) / span * (height - 1)).round().astype(int)
+    for col, level in enumerate(levels):
+        grid[height - 1 - level, col] = "*"
+    for r in range(height):
+        value = hi - (r / (height - 1)) * span
+        label = y_format.format(value)
+        rows.append(f"{label} |" + "".join(grid[r]))
+    rows.append(" " * len(label) + " +" + "-" * len(arr))
+    header = [title] if title else []
+    return "\n".join(header + rows)
+
+
+def soc_strip(soc_values: Sequence[float], soc_min: float = 0.40,
+              soc_max: float = 0.80, width: int = 60) -> str:
+    """Sparkline of an SoC trace annotated with the window bounds."""
+    spark = sparkline(soc_values, width)
+    arr = np.asarray(list(soc_values), dtype=float)
+    return (f"SoC [{soc_min:.0%}..{soc_max:.0%}] "
+            f"start={arr[0]:.2f} end={arr[-1]:.2f}  {spark}")

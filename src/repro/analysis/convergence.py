@@ -1,0 +1,86 @@
+"""Learning-curve analytics.
+
+The paper argues about *convergence rate* (it is the reason for the
+reduced action space and for TD(lambda)); these helpers quantify it from a
+training run's reward-per-episode curve: smoothing, episodes-to-threshold,
+and a robust converged-level estimate — the quantities the ablation
+benches compare across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def moving_average(values: Sequence[float], window: int = 5) -> np.ndarray:
+    """Trailing moving average (shorter prefix windows at the start)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    cumsum = np.cumsum(arr)
+    for i in range(len(arr)):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def converged_level(values: Sequence[float], tail_fraction: float = 0.25
+                    ) -> float:
+    """Median of the last ``tail_fraction`` of the curve (robust plateau)."""
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail fraction must be in (0, 1]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty curve")
+    tail = arr[int(np.floor(len(arr) * (1.0 - tail_fraction))):]
+    return float(np.median(tail))
+
+
+def episodes_to_threshold(values: Sequence[float], threshold: float,
+                          window: int = 5) -> Optional[int]:
+    """First episode whose smoothed reward reaches ``threshold`` (None if
+    never) — the convergence-speed measure of the ablation benches."""
+    smooth = moving_average(values, window)
+    hits = np.nonzero(smooth >= threshold)[0]
+    return int(hits[0]) if len(hits) else None
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of one learning curve."""
+
+    first: float
+    """Reward of the first episode."""
+
+    final_level: float
+    """Robust plateau level (median of the tail)."""
+
+    improvement: float
+    """``final_level - first`` (positive when learning helped)."""
+
+    episodes_to_90pct: Optional[int]
+    """Episodes until the smoothed curve covers 90% of the improvement;
+    None when the curve never gets there (or never improves)."""
+
+
+def analyze(values: Sequence[float], window: int = 5) -> ConvergenceReport:
+    """Build the :class:`ConvergenceReport` of a reward curve."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two episodes to analyse")
+    first = float(arr[0])
+    level = converged_level(arr)
+    improvement = level - first
+    target = first + 0.9 * improvement
+    episodes = (episodes_to_threshold(arr, target, window)
+                if improvement > 0 else None)
+    return ConvergenceReport(first=first, final_level=level,
+                             improvement=improvement,
+                             episodes_to_90pct=episodes)

@@ -1,0 +1,98 @@
+"""Exporting episode results to JSON.
+
+The library is terminal-first, but downstream analysis (notebooks, plotting
+services, regression dashboards) wants structured data.  These helpers
+serialise an :class:`EpisodeResult` — aggregates always, per-step traces
+optionally — to a JSON-compatible dict and to disk, and load the dict form
+back for comparison tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.traces import (
+    driveability,
+    energy_account,
+    engine_duty,
+    mode_share,
+    soc_statistics,
+)
+from repro.sim.results import EpisodeResult
+
+FORMAT_VERSION = 1
+"""Schema version of the exported document."""
+
+
+def result_to_dict(result: EpisodeResult,
+                   include_traces: bool = False) -> Dict:
+    """Serialise an episode result to a JSON-compatible dict.
+
+    Aggregates, energy accounting, and driveability are always included;
+    ``include_traces`` adds the full per-step arrays (large).
+    """
+    account = energy_account(result)
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "cycle": result.cycle_name,
+        "dt_s": result.dt,
+        "distance_m": result.distance,
+        "steps": int(len(result.fuel_rate)),
+        "initial_soc": result.initial_soc,
+        "final_soc": result.final_soc,
+        "fuel_g": result.total_fuel,
+        "corrected_fuel_g": result.corrected_fuel(),
+        "mpg": result.mpg,
+        "corrected_mpg": result.corrected_mpg(),
+        "paper_reward": result.total_paper_reward,
+        "corrected_paper_reward": result.corrected_paper_reward(),
+        "learning_reward": result.total_reward,
+        "mean_aux_power_w": result.mean_aux_power,
+        "fallback_steps": result.fallback_steps,
+        "energy": {
+            "positive_wheel_work_j": account.positive_wheel_work,
+            "braking_energy_j": account.braking_energy,
+            "fuel_energy_j": account.fuel_energy,
+            "battery_discharge_j": account.battery_discharge_energy,
+            "battery_charge_j": account.battery_charge_energy,
+            "auxiliary_j": account.auxiliary_energy,
+            "regen_fraction": account.regen_fraction,
+            "tank_to_wheel_efficiency": account.tank_to_wheel_efficiency,
+        },
+        "mode_share": mode_share(result),
+        "soc": soc_statistics(result),
+        "engine": engine_duty(result),
+        "driveability": driveability(result),
+    }
+    if include_traces:
+        doc["traces"] = {
+            "speed_ms": [float(x) for x in result.speeds],
+            "power_demand_w": [float(x) for x in result.power_demand],
+            "fuel_rate_gps": [float(x) for x in result.fuel_rate],
+            "soc": [float(x) for x in result.soc],
+            "current_a": [float(x) for x in result.current],
+            "gear": [int(x) for x in result.gear],
+            "aux_power_w": [float(x) for x in result.aux_power],
+            "mode": [int(x) for x in result.mode],
+        }
+    return doc
+
+
+def save_result(result: EpisodeResult, path: Union[str, Path],
+                include_traces: bool = False) -> None:
+    """Write :func:`result_to_dict` output as pretty-printed JSON."""
+    with open(Path(path), "w") as f:
+        json.dump(result_to_dict(result, include_traces), f, indent=2,
+                  sort_keys=True)
+
+
+def load_result_dict(path: Union[str, Path]) -> Dict:
+    """Load a document written by :func:`save_result`, checking the schema."""
+    with open(Path(path)) as f:
+        doc = json.load(f)
+    if doc.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {doc.get('format_version')!r}")
+    return doc

@@ -1,0 +1,38 @@
+"""Comparison metrics used by the experiment benches.
+
+Everything the paper's evaluation reports is a ratio between two
+controllers on the same cycle: normalised fuel (Fig. 2), cumulative reward
+(Table 2), and MPG improvement (Fig. 3).  These helpers centralise the
+arithmetic and its edge cases.
+"""
+
+from __future__ import annotations
+
+
+def normalized_fuel(fuel: float, reference_fuel: float) -> float:
+    """Fuel consumption normalised to a reference controller's (Fig. 2).
+
+    Values below 1.0 mean less fuel than the reference.
+    """
+    if reference_fuel <= 0:
+        raise ValueError("reference fuel must be positive")
+    return fuel / reference_fuel
+
+def improvement_percent(value: float, baseline: float) -> float:
+    """Percent improvement of ``value`` over ``baseline`` for
+    higher-is-better quantities (MPG): 100 * (value - baseline) / baseline."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return 100.0 * (value - baseline) / abs(baseline)
+
+
+def reward_gap_percent(proposed: float, baseline: float) -> float:
+    """Percent reward gap for the (negative) cumulative rewards of Table 2.
+
+    Both totals are negative; the gap is how much smaller in magnitude the
+    proposed controller's cost is: 100 * (|baseline| - |proposed|) /
+    |baseline|.
+    """
+    if baseline == 0:
+        raise ValueError("baseline reward must be nonzero")
+    return 100.0 * (abs(baseline) - abs(proposed)) / abs(baseline)

@@ -1,0 +1,51 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format them consistently (monospace tables a terminal and a CI log
+render identically).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Mapping[str, Sequence[float]],
+                 precision: int = 2) -> str:
+    """Render a labelled-rows table.
+
+    ``rows`` maps the row label (e.g. cycle name) to one value per column.
+    """
+    label_width = max([len(title)] + [len(k) for k in rows]) + 2
+    col_width = max([len(c) for c in columns] + [10]) + 2
+    lines = [title]
+    header = " " * label_width + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(f"row {label!r} has {len(values)} values for "
+                             f"{len(columns)} columns")
+        cells = "".join(f"{v:.{precision}f}".rjust(col_width) for v in values)
+        lines.append(label.ljust(label_width) + cells)
+    return "\n".join(lines)
+
+
+def render_figure_series(title: str, series: Mapping[str, Mapping[str, float]],
+                         precision: int = 3) -> str:
+    """Render a grouped-bar figure as text: one line per (group, series).
+
+    ``series`` maps series name -> {group label -> value}, mirroring how the
+    paper's bar charts group cycles on the x-axis.
+    """
+    lines = [title]
+    groups = sorted({g for values in series.values() for g in values})
+    name_width = max(len(n) for n in series) + 2
+    for group in groups:
+        parts = []
+        for name, values in series.items():
+            if group in values:
+                parts.append(f"{name}={values[group]:.{precision}f}")
+        lines.append(f"  {group:12s} " + "  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflows:
+
+* ``cycles``   — list the built-in drive cycles with their statistics, or
+  export one to CSV.
+* ``train``    — train the joint RL controller on a cycle and optionally
+  save the learned policy.
+* ``evaluate`` — drive a cycle under a chosen controller (optionally a
+  saved policy) and print the result summary plus energy accounting.
+* ``compare``  — train the RL controller and print the proposed-vs-baseline
+  table for one cycle.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.ascii_plot import soc_strip, sparkline
+from repro.analysis.traces import energy_account, mode_share
+from repro.control import (
+    ConventionalController,
+    ECMSController,
+    RuleBasedController,
+    ThermostatController,
+)
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import STANDARD_SPECS, compute_stats, save_csv, standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.rl.persistence import load_policy, save_policy
+from repro.sim import Simulator, evaluate, evaluate_stationary, train
+from repro.sim.callbacks import ProgressPrinter, train_with_callbacks
+from repro.vehicle import default_vehicle
+
+_BASELINES = {
+    "rule-based": RuleBasedController,
+    "ecms": ECMSController,
+    "thermostat": ThermostatController,
+    "conventional": ConventionalController,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HEV joint RL control (DAC'15 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cycles = sub.add_parser("cycles", help="list or export drive cycles")
+    p_cycles.add_argument("--export", metavar="NAME",
+                          help="cycle to export as CSV")
+    p_cycles.add_argument("--output", default=None,
+                          help="CSV path (default <name>.csv)")
+
+    p_train = sub.add_parser("train", help="train the RL controller")
+    p_train.add_argument("--cycle", default="UDDS")
+    p_train.add_argument("--episodes", type=int, default=50)
+    p_train.add_argument("--repeats", type=int, default=2,
+                         help="cycle repetitions per episode")
+    p_train.add_argument("--variant", default="proposed",
+                         choices=["proposed", "no_prediction", "baseline13"])
+    p_train.add_argument("--seed", type=int, default=42)
+    p_train.add_argument("--save", metavar="STEM",
+                         help="save the trained policy to STEM.{npz,json}")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a controller")
+    p_eval.add_argument("--cycle", default="UDDS")
+    p_eval.add_argument("--repeats", type=int, default=2)
+    p_eval.add_argument("--controller", default="rule-based",
+                        choices=sorted(_BASELINES) + ["rl"])
+    p_eval.add_argument("--policy", metavar="STEM",
+                        help="saved policy stem (for --controller rl)")
+    p_eval.add_argument("--seed", type=int, default=42)
+
+    p_cmp = sub.add_parser("compare",
+                           help="train RL and compare against baselines")
+    p_cmp.add_argument("--cycle", default="SC03")
+    p_cmp.add_argument("--episodes", type=int, default=50)
+    p_cmp.add_argument("--repeats", type=int, default=2)
+    p_cmp.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_cycles(args) -> int:
+    if args.export:
+        cycle = standard_cycle(args.export)
+        path = args.output or f"{cycle.name.lower()}.csv"
+        save_csv(cycle, path)
+        print(f"wrote {cycle} to {path}")
+        return 0
+    print(f"{'name':8s} {'dur s':>7s} {'km':>7s} {'mean km/h':>10s} "
+          f"{'max km/h':>9s} {'stops':>6s}")
+    for name in sorted(STANDARD_SPECS):
+        stats = compute_stats(standard_cycle(name))
+        print(f"{name:8s} {stats.duration:7.0f} "
+              f"{stats.distance / 1000:7.2f} {stats.mean_speed_kmh:10.1f} "
+              f"{stats.max_speed_kmh:9.1f} {stats.stop_count:6d}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    controller = build_rl_controller(solver, variant=args.variant,
+                                     seed=args.seed)
+    cycle = standard_cycle(args.cycle).repeat(args.repeats)
+    print(f"training {args.variant} on {cycle} for {args.episodes} episodes")
+    run = train_with_callbacks(simulator, controller, cycle,
+                               episodes=args.episodes,
+                               callbacks=[ProgressPrinter(every=10)])
+    if len(run.episodes) >= 2:
+        print("learning curve (reward/episode): "
+              + sparkline(run.learning_curve))
+    print("greedy evaluation:", run.evaluation.summary())
+    if args.save:
+        save_policy(controller.agent, args.save)
+        print(f"policy saved to {args.save}.npz / {args.save}.json")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    if args.controller == "rl":
+        controller = build_rl_controller(solver, seed=args.seed)
+        if args.policy:
+            load_policy(controller.agent, args.policy)
+    else:
+        controller = _BASELINES[args.controller](solver)
+    cycle = standard_cycle(args.cycle).repeat(args.repeats)
+    result = evaluate(simulator, controller, cycle)
+    print(result.summary())
+    battery = solver.params.battery
+    print("  " + soc_strip(result.soc, battery.soc_min, battery.soc_max))
+    account = energy_account(result)
+    print(f"  wheel work    {account.positive_wheel_work / 1e6:7.2f} MJ")
+    print(f"  fuel energy   {account.fuel_energy / 1e6:7.2f} MJ")
+    print(f"  regen share   {account.regen_fraction:7.1%}")
+    print("  mode share    " + ", ".join(
+        f"{name}={frac:.0%}" for name, frac in sorted(
+            mode_share(result).items())))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    cycle = standard_cycle(args.cycle).repeat(args.repeats)
+    controller = build_rl_controller(solver, seed=args.seed)
+    print(f"training on {cycle} ({args.episodes} episodes)...")
+    train(simulator, controller, cycle, episodes=args.episodes,
+          evaluate_after=False)
+    rows = {"rl (proposed)": evaluate_stationary(simulator, controller,
+                                                 cycle)}
+    for name, factory in sorted(_BASELINES.items()):
+        rows[name] = evaluate_stationary(simulator, factory(solver), cycle)
+    print(f"\n{'controller':14s} {'mpg':>7s} {'reward':>10s} {'final SoC':>10s}")
+    for name, res in rows.items():
+        print(f"{name:14s} {res.corrected_mpg():7.1f} "
+              f"{res.total_paper_reward:10.2f} {res.final_soc:10.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "cycles": _cmd_cycles,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

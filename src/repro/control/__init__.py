@@ -1,0 +1,33 @@
+"""HEV supervisory controllers.
+
+All controllers speak the :class:`Controller` protocol the simulator
+drives: the proposed RL agent (wrapped), the rule-based baseline of
+Banvait et al. the paper compares against, an ECMS baseline, and an
+offline dynamic-programming optimum used as an upper bound in the
+ablation benches.
+"""
+
+from repro.control.base import Controller
+from repro.control.rule_based import RuleBasedConfig, RuleBasedController
+from repro.control.rl_controller import RLController, build_rl_controller
+from repro.control.ecms import ECMSConfig, ECMSController
+from repro.control.dp import DPConfig, DPController, solve_dp
+from repro.control.thermostat import ThermostatConfig, ThermostatController
+from repro.control.conventional import ConventionalConfig, ConventionalController
+
+__all__ = [
+    "Controller",
+    "RuleBasedConfig",
+    "RuleBasedController",
+    "RLController",
+    "build_rl_controller",
+    "ECMSConfig",
+    "ECMSController",
+    "DPConfig",
+    "DPController",
+    "solve_dp",
+    "ThermostatConfig",
+    "ThermostatController",
+    "ConventionalConfig",
+    "ConventionalController",
+]

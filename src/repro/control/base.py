@@ -1,0 +1,36 @@
+"""The controller protocol the simulator drives.
+
+Any supervisory controller — learning or not — implements three methods:
+``begin_episode`` at departure, ``act`` once per time step, and
+``finish_episode`` at arrival.  ``act`` receives exactly what a real HEV
+supervisory controller can observe (speed, pedal-implied acceleration,
+grade, battery SoC from Coulomb counting) and returns the
+:class:`repro.rl.agent.ExecutedStep` describing what was done.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.rl.agent import ExecutedStep
+
+
+class Controller(abc.ABC):
+    """Abstract supervisory controller."""
+
+    @abc.abstractmethod
+    def begin_episode(self) -> None:
+        """Prepare for a new drive (reset episode-scoped state)."""
+
+    @abc.abstractmethod
+    def act(self, speed: float, acceleration: float, soc: float, dt: float,
+            grade: float = 0.0, learn: bool = True,
+            greedy: bool = False) -> ExecutedStep:
+        """Decide and execute one step; returns the resolved step.
+
+        Non-learning controllers ignore ``learn``/``greedy``.
+        """
+
+    @abc.abstractmethod
+    def finish_episode(self, learn: bool = True) -> None:
+        """Drive finished (flush terminal learning updates, if any)."""

@@ -1,0 +1,50 @@
+"""Drive cycles: container, statistics, synthesis, and standard cycles.
+
+The paper evaluates on EPA cycles (UDDS, SC03, HWFET) and European project
+cycles (OSCAR, MODEM).  The original data files are not redistributable
+here, so :mod:`repro.cycles.standard` synthesises each cycle from its
+published summary statistics (duration, distance, mean/max speed, stop
+count) with a deterministic micro-trip generator; :mod:`repro.cycles.io`
+loads real traces from CSV when they are available.
+"""
+
+from repro.cycles.cycle import DriveCycle
+from repro.cycles.stats import CycleStats, compute_stats
+from repro.cycles.synthesis import CycleSpec, synthesize
+from repro.cycles.standard import (
+    STANDARD_SPECS,
+    hwfet,
+    modem,
+    nycc,
+    oscar,
+    sc03,
+    standard_cycle,
+    udds,
+    us06,
+)
+from repro.cycles.io import load_csv, save_csv
+from repro.cycles.grade import net_zero_terrain, rolling_hills
+from repro.cycles.markov import fit_chain, generate_trip
+
+__all__ = [
+    "rolling_hills",
+    "net_zero_terrain",
+    "fit_chain",
+    "generate_trip",
+    "DriveCycle",
+    "CycleStats",
+    "compute_stats",
+    "CycleSpec",
+    "synthesize",
+    "STANDARD_SPECS",
+    "standard_cycle",
+    "udds",
+    "hwfet",
+    "sc03",
+    "us06",
+    "nycc",
+    "oscar",
+    "modem",
+    "load_csv",
+    "save_csv",
+]

@@ -1,0 +1,96 @@
+"""Road-grade profile synthesis.
+
+The paper's vehicle dynamics (Eq. 5) include the road-slope force
+``F_g = m g sin(theta)``, but regulatory cycles are flat.  This module
+attaches synthetic grade profiles to a cycle so users can exercise the
+grade path: rolling hills (sinusoidal in *distance*, so the terrain does
+not depend on how fast the cycle drives over it) and net-zero random
+terrain for closed loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cycles.cycle import DriveCycle
+
+MAX_GRADE = 0.15
+"""Sanity bound on synthetic grades, radians (~8.5 degrees)."""
+
+
+def _cumulative_distance(cycle: DriveCycle) -> np.ndarray:
+    """Distance travelled at each sample, m."""
+    v_mid = 0.5 * (cycle.speeds[1:] + cycle.speeds[:-1])
+    return np.concatenate([[0.0], np.cumsum(v_mid * cycle.dt)])
+
+
+def rolling_hills(cycle: DriveCycle, amplitude: float = 0.03,
+                  wavelength: float = 800.0, phase: float = 0.0) -> DriveCycle:
+    """Attach a sinusoidal-in-distance grade profile.
+
+    ``amplitude`` is the peak grade in radians and ``wavelength`` the
+    hill-to-hill distance in meters.  Because the profile is a function of
+    distance, idle phases sit on constant grade, as real terrain would.
+    """
+    if not 0.0 <= amplitude <= MAX_GRADE:
+        raise ValueError(f"amplitude must be within [0, {MAX_GRADE}] rad")
+    if wavelength <= 0:
+        raise ValueError("wavelength must be positive")
+    distance = _cumulative_distance(cycle)
+    grades = amplitude * np.sin(2.0 * np.pi * distance / wavelength + phase)
+    return DriveCycle(f"{cycle.name}+hills", cycle.speeds.copy(), cycle.dt,
+                      grades)
+
+
+def net_zero_terrain(cycle: DriveCycle, roughness: float = 0.02,
+                     correlation_length: float = 300.0,
+                     seed: int = 0) -> DriveCycle:
+    """Attach random terrain whose total elevation change is zero.
+
+    Builds a smooth random elevation profile over distance (Gaussian noise
+    convolved to the requested correlation length), detrends it so the trip
+    starts and ends at the same altitude (a closed commuting loop), and
+    differentiates to grade.  ``roughness`` caps the resulting grade RMS.
+    """
+    if roughness <= 0 or roughness > MAX_GRADE:
+        raise ValueError(f"roughness must be within (0, {MAX_GRADE}] rad")
+    if correlation_length <= 0:
+        raise ValueError("correlation length must be positive")
+    distance = _cumulative_distance(cycle)
+    total = float(distance[-1])
+    if total <= 0:
+        return DriveCycle(f"{cycle.name}+flat", cycle.speeds.copy(),
+                          cycle.dt, np.zeros_like(cycle.speeds))
+
+    rng = np.random.default_rng(seed)
+    # Elevation on a uniform distance grid, smoothed to the correlation
+    # length, then linearly detrended to close the loop.
+    grid_step = max(correlation_length / 8.0, 1.0)
+    n_grid = max(int(total / grid_step) + 2, 8)
+    raw = rng.standard_normal(n_grid)
+    kernel_n = max(int(correlation_length / grid_step) | 1, 3)
+    kernel = np.hanning(kernel_n + 2)[1:-1]
+    kernel /= kernel.sum()
+    elevation = np.convolve(raw, kernel, mode="same")
+    elevation -= np.linspace(elevation[0], elevation[-1], n_grid)
+
+    grid = np.linspace(0.0, total, n_grid)
+    grade_grid = np.gradient(elevation, grid)
+    rms = float(np.sqrt(np.mean(grade_grid ** 2)))
+    if rms > 0:
+        grade_grid *= roughness / rms
+    grades = np.interp(distance, grid, grade_grid)
+    grades = np.clip(grades, -MAX_GRADE, MAX_GRADE)
+    return DriveCycle(f"{cycle.name}+terrain", cycle.speeds.copy(),
+                      cycle.dt, grades)
+
+
+def elevation_profile(cycle: DriveCycle) -> np.ndarray:
+    """Integrate a cycle's grades into an elevation trace, m.
+
+    For small angles the climb per step is ``v * dt * sin(theta)``.
+    """
+    v_mid = 0.5 * (cycle.speeds[1:] + cycle.speeds[:-1])
+    g_mid = 0.5 * (cycle.grades[1:] + cycle.grades[:-1])
+    climb = v_mid * cycle.dt * np.sin(g_mid)
+    return np.concatenate([[0.0], np.cumsum(climb)])

@@ -1,0 +1,74 @@
+"""CSV input/output for drive cycles.
+
+Real regulatory traces (when available) come as two-column CSV files of
+``time_s, speed`` — speed in m/s by default, with an optional third
+``grade_rad`` column.  These helpers round-trip :class:`DriveCycle`
+instances through that format so users can swap the synthetic cycles for
+measured data without touching any other code.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.cycles.cycle import DriveCycle
+from repro.units import kmh_to_ms, mph_to_ms
+
+_UNIT_CONVERTERS = {
+    "ms": lambda v: v,
+    "m/s": lambda v: v,
+    "kmh": kmh_to_ms,
+    "km/h": kmh_to_ms,
+    "mph": mph_to_ms,
+}
+
+
+def load_csv(path: Union[str, Path], name: str = "",
+             speed_unit: str = "ms") -> DriveCycle:
+    """Load a cycle from a ``time, speed[, grade]`` CSV file.
+
+    The time column must be uniformly sampled; a header row is skipped
+    automatically if present.  ``speed_unit`` selects the conversion applied
+    to the speed column (``"ms"``, ``"kmh"``, or ``"mph"``).
+    """
+    path = Path(path)
+    if speed_unit not in _UNIT_CONVERTERS:
+        raise ValueError(f"unsupported speed unit {speed_unit!r}")
+    convert = _UNIT_CONVERTERS[speed_unit]
+
+    times, speeds, grades = [], [], []
+    with open(path, newline="") as f:
+        for row in csv.reader(f):
+            if not row or not row[0].strip():
+                continue
+            try:
+                t = float(row[0])
+            except ValueError:
+                continue  # header row
+            times.append(t)
+            speeds.append(convert(float(row[1])))
+            grades.append(float(row[2]) if len(row) > 2 else 0.0)
+
+    if len(times) < 2:
+        raise ValueError(f"{path} holds fewer than two samples")
+    times_arr = np.asarray(times)
+    dts = np.diff(times_arr)
+    dt = float(dts[0])
+    if dt <= 0 or not np.allclose(dts, dt, rtol=1e-6, atol=1e-9):
+        raise ValueError(f"{path} is not uniformly sampled")
+    return DriveCycle(name or path.stem, np.asarray(speeds), dt,
+                      np.asarray(grades))
+
+
+def save_csv(cycle: DriveCycle, path: Union[str, Path]) -> None:
+    """Write a cycle as a ``time_s, speed_ms, grade_rad`` CSV file."""
+    path = Path(path)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["time_s", "speed_ms", "grade_rad"])
+        for t, v, g in zip(cycle.times, cycle.speeds, cycle.grades):
+            writer.writerow([f"{t:.3f}", f"{v:.6f}", f"{g:.6f}"])

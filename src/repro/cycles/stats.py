@@ -1,0 +1,90 @@
+"""Summary statistics of drive cycles.
+
+The synthesis engine targets these statistics (they are what the EPA and the
+European projects publish for each cycle), and the tests assert that the
+synthesised cycles land close to the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cycles.cycle import DriveCycle
+from repro.units import ms_to_kmh
+
+_STOP_SPEED = 0.1
+"""Speed below which the vehicle counts as stopped, m/s."""
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Summary statistics of one drive cycle."""
+
+    duration: float
+    """Total duration, s."""
+
+    distance: float
+    """Trip distance, m."""
+
+    mean_speed_kmh: float
+    """Trip-average speed including idle, km/h."""
+
+    mean_moving_speed_kmh: float
+    """Average speed over the moving samples only, km/h."""
+
+    max_speed_kmh: float
+    """Peak speed, km/h."""
+
+    max_acceleration: float
+    """Largest acceleration, m/s^2."""
+
+    max_deceleration: float
+    """Largest deceleration magnitude, m/s^2."""
+
+    stop_count: int
+    """Number of distinct stop events after moving (excludes the initial rest)."""
+
+    idle_fraction: float
+    """Fraction of samples at standstill."""
+
+    kinetic_intensity: float
+    """Characteristic acceleration divided by aerodynamic speed, 1/m — the
+    standard transientness measure; urban cycles score high, highway low."""
+
+
+def count_stops(speeds: np.ndarray, stop_speed: float = _STOP_SPEED) -> int:
+    """Count moving -> stopped transitions in a speed trace."""
+    stopped = speeds <= stop_speed
+    transitions = (~stopped[:-1]) & stopped[1:]
+    return int(np.sum(transitions))
+
+
+def compute_stats(cycle: DriveCycle) -> CycleStats:
+    """Compute the :class:`CycleStats` of a cycle."""
+    speeds = cycle.speeds
+    acc = np.diff(speeds) / cycle.dt
+    moving = speeds > _STOP_SPEED
+    mean_moving = float(np.mean(speeds[moving])) if np.any(moving) else 0.0
+
+    # Kinetic intensity (O'Keefe et al.): characteristic positive acceleration
+    # per unit distance over the mean cubed speed per unit distance.
+    v_mid = 0.5 * (speeds[1:] + speeds[:-1])
+    dist = cycle.distance
+    pos_acc_work = np.sum(np.maximum(v_mid * acc, 0.0) * cycle.dt)
+    aero_speed = np.sum(v_mid ** 3 * cycle.dt)
+    ki = float(pos_acc_work / aero_speed) if aero_speed > 0 else 0.0
+
+    return CycleStats(
+        duration=cycle.duration,
+        distance=dist,
+        mean_speed_kmh=ms_to_kmh(cycle.mean_speed),
+        mean_moving_speed_kmh=ms_to_kmh(mean_moving),
+        max_speed_kmh=ms_to_kmh(cycle.max_speed),
+        max_acceleration=float(np.max(acc)) if len(acc) else 0.0,
+        max_deceleration=float(-np.min(acc)) if len(acc) else 0.0,
+        stop_count=count_stops(speeds),
+        idle_fraction=float(np.mean(~moving)),
+        kinetic_intensity=ki,
+    )

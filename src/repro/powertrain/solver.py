@@ -1,0 +1,286 @@
+"""Backward-looking parallel-HEV powertrain solver.
+
+This module resolves the paper's Section 2.2 control flow: the driver fixes
+speed ``v`` and acceleration ``a``; the controller picks the battery current
+``i``, the gear ``R(k)``, and the auxiliary power ``p_aux``; everything else
+(engine and motor torques/speeds, actual battery power, fuel rate, friction
+braking) is a dependent variable that this solver computes.
+
+Saturation semantics
+--------------------
+Discrete current actions rarely hit the exact power balance, so the solver
+treats the commanded current as an *intent* and saturates it against the
+physics, the way a real supervisory controller's lower layers would:
+
+* If the EM (fed by the commanded current) would over-deliver torque while
+  motoring, the engine cannot absorb the excess, so the EM torque is cut back
+  to exactly meet demand and the actual current is recomputed.
+* While braking, the engine is declutched and fuel is cut; the EM may not
+  regenerate harder than the demanded braking torque, the envelope, or the
+  battery's charge-current limit, and friction brakes absorb the remainder.
+* At standstill the powertrain is disengaged and only the auxiliaries load
+  the battery.
+
+An action is *infeasible* when it cannot deliver the demanded traction (the
+engine would exceed its wide-open-throttle curve, or EV-only operation would
+exceed the EM envelope) or when it would push the battery charge outside the
+charge-sustaining window.  The solver always reports the achievable torque
+shortfall so the simulator can fall back gracefully on pathological steps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.powertrain.modes import classify
+from repro.powertrain.operating_point import BatchResult, OperatingPoint
+from repro.vehicle.auxiliary import AuxiliarySystem
+from repro.vehicle.battery import Battery
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.engine import Engine
+from repro.vehicle.motor import Motor
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.transmission import Transmission
+
+_TORQUE_TOL = 1e-6
+_SPEED_TOL = 1e-6
+_WINDOW_SLACK = 0.01
+"""SoC slack (fraction of capacity) tolerated beyond the operating window
+before an action is declared infeasible; keeps boundary states solvable."""
+
+
+class PowertrainSolver:
+    """Resolves dependent powertrain variables for batches of actions."""
+
+    def __init__(self, params: VehicleParams, engine=None):
+        """``engine`` substitutes a drop-in engine model (e.g. a
+        :class:`repro.vehicle.maps.TabulatedEngine` built from a measured
+        fuel map) for the parametric default."""
+        self._params = params
+        self.dynamics = VehicleDynamics(params.body)
+        self.engine = engine if engine is not None else Engine(params.engine)
+        self.motor = Motor(params.motor)
+        self.battery = Battery(params.battery)
+        self.transmission = Transmission(params.transmission)
+        self.auxiliary = AuxiliarySystem(params.auxiliary)
+        # The speed band comes from the active engine model, which may be a
+        # tabulated substitute with a different grid than the params.
+        self._engine_min_speed = getattr(self.engine, "min_speed",
+                                         params.engine.min_speed)
+        self._engine_max_speed = getattr(self.engine, "max_speed",
+                                         params.engine.max_speed)
+        if hasattr(self.engine, "params"):
+            self._engine_min_speed = self.engine.params.min_speed
+            self._engine_max_speed = self.engine.params.max_speed
+
+    @property
+    def params(self) -> VehicleParams:
+        """The vehicle parameter set this solver was built from."""
+        return self._params
+
+    # ------------------------------------------------------------------ API ---
+
+    def evaluate_actions(self, speed: float, acceleration: float, soc: float,
+                         currents: Sequence[float], gears: Sequence[int],
+                         aux_powers: Sequence[float], dt: float,
+                         grade: float = 0.0) -> BatchResult:
+        """Resolve a batch of candidate actions for one driver demand.
+
+        ``currents``, ``gears`` and ``aux_powers`` must be index-aligned
+        arrays of equal length N; the result is a :class:`BatchResult` of
+        length N.  ``soc`` is the pack state of charge as a fraction.
+        """
+        currents = np.asarray(currents, dtype=float)
+        gears = np.asarray(gears, dtype=int)
+        aux = np.asarray(aux_powers, dtype=float)
+        if not (len(currents) == len(gears) == len(aux)):
+            raise ValueError("action component arrays must be index-aligned")
+        if dt <= 0:
+            raise ValueError("time step must be positive")
+
+        wheel_speed = float(self.dynamics.wheel_speed(speed))
+        wheel_torque = float(self.dynamics.wheel_torque(speed, acceleration, grade))
+        p_dem = float(self.dynamics.power_demand(speed, acceleration, grade))
+
+        if wheel_speed <= _SPEED_TOL:
+            return self._standstill(p_dem, currents, gears, aux, soc, dt)
+        return self._moving(wheel_speed, wheel_torque, p_dem, currents, gears,
+                            aux, soc, dt)
+
+    def evaluate(self, speed: float, acceleration: float, soc: float,
+                 current: float, gear: int, aux_power: float, dt: float,
+                 grade: float = 0.0) -> OperatingPoint:
+        """Scalar convenience wrapper around :meth:`evaluate_actions`."""
+        batch = self.evaluate_actions(speed, acceleration, soc, [current],
+                                      [gear], [aux_power], dt, grade)
+        return batch.point(0)
+
+    # ------------------------------------------------------------ internals ---
+
+    def _soc_after(self, currents: np.ndarray, soc: float, dt: float) -> np.ndarray:
+        """Post-step SoC (fraction) for each actual current, by Coulomb counting."""
+        p = self._params.battery
+        delta = np.where(currents >= 0.0, -currents * dt,
+                         -currents * dt * p.coulombic_efficiency)
+        charge = soc * p.capacity + delta
+        return np.clip(charge / p.capacity, 0.0, 1.0)
+
+    def _window_ok(self, soc_next: np.ndarray) -> np.ndarray:
+        """True where the post-step SoC stays inside the (slackened) window."""
+        p = self._params.battery
+        return ((soc_next >= p.soc_min - _WINDOW_SLACK)
+                & (soc_next <= p.soc_max + _WINDOW_SLACK))
+
+    def _standstill(self, p_dem: float, currents: np.ndarray, gears: np.ndarray,
+                    aux: np.ndarray, soc: float, dt: float) -> BatchResult:
+        """Resolve the disengaged-powertrain case (v = 0).
+
+        The commanded current is irrelevant: the only battery load is the
+        auxiliary draw, so the actual current is whatever sustains ``p_aux``.
+        """
+        n = len(currents)
+        i_act = np.asarray(self.battery.current_for_power(aux, soc), dtype=float)
+        i_act = self.battery.clamp_current(i_act)
+        p_batt = np.asarray(self.battery.terminal_power(i_act, soc), dtype=float)
+        soc_next = self._soc_after(i_act, soc, dt)
+        window = self._window_ok(soc_next)
+        zeros = np.zeros(n)
+        meets = np.ones(n, dtype=bool)
+        feasible = window & meets
+        mode = classify(zeros, zeros, np.zeros(n), np.zeros(n, dtype=bool))
+        return BatchResult(
+            feasible=feasible, mode=mode, power_demand=p_dem, wheel_speed=0.0,
+            wheel_torque=0.0, gear=gears.copy(), engine_speed=zeros.copy(),
+            engine_torque=zeros.copy(), motor_speed=zeros.copy(),
+            motor_torque=zeros.copy(), battery_current=i_act,
+            battery_power=p_batt, aux_power=aux.copy(), fuel_rate=zeros.copy(),
+            brake_torque=zeros.copy(), meets_demand=meets, window_ok=window,
+            soc_next=soc_next, shortfall=zeros.copy())
+
+    def _moving(self, wheel_speed: float, wheel_torque: float, p_dem: float,
+                currents: np.ndarray, gears: np.ndarray, aux: np.ndarray,
+                soc: float, dt: float) -> BatchResult:
+        """Resolve the engaged-powertrain case (v > 0) for a batch of actions."""
+        trans = self.transmission
+
+        omega_eng = np.asarray(trans.engine_speed(wheel_speed, gears), dtype=float)
+        omega_mot = np.asarray(trans.motor_speed(wheel_speed, gears), dtype=float)
+        t_shaft_req = np.asarray(
+            trans.required_shaft_torque(wheel_torque, gears), dtype=float)
+
+        motor_speed_ok = omega_mot <= self._params.motor.max_speed + 1e-9
+        engine_can_run = ((omega_eng >= self._engine_min_speed)
+                          & (omega_eng <= self._engine_max_speed))
+
+        # Commanded EM torque from the commanded current (the "intent").
+        i_cmd = np.asarray(self.battery.clamp_current(currents), dtype=float)
+        p_batt_cmd = np.asarray(self.battery.terminal_power(i_cmd, soc), dtype=float)
+        p_em_cmd = p_batt_cmd - aux
+        t_em_cmd = np.asarray(
+            self.motor.torque_from_electrical_power(p_em_cmd, omega_mot),
+            dtype=float)
+        t_em_lim = np.asarray(self.motor.max_torque(omega_mot), dtype=float)
+        t_em = np.clip(t_em_cmd, -t_em_lim, t_em_lim)
+
+        braking = t_shaft_req < 0.0
+        # EM torque needed to meet the full shaft demand alone (for EV-only
+        # operation and for bounding regen).
+        t_em_demand = np.asarray(
+            trans.motor_torque_from_shaft(t_shaft_req), dtype=float)
+
+        # --- braking: engine declutched, regen bounded by demand and envelope
+        t_em_brk = np.clip(t_em, np.maximum(-t_em_lim, t_em_demand), 0.0)
+
+        # --- motoring: engine makes up the remainder, cannot absorb surplus
+        shaft_from_em = np.asarray(trans.motor_torque_at_shaft(t_em), dtype=float)
+        t_ice_raw = t_shaft_req - shaft_from_em
+        t_ice_max = np.asarray(self.engine.max_torque(omega_eng), dtype=float)
+        ev_only = (~engine_can_run) | (t_ice_raw <= _TORQUE_TOL)
+        # EV-only: the EM must carry the whole demand by itself.
+        t_em_ev = np.clip(t_em_demand, -t_em_lim, t_em_lim)
+        ev_meets = np.abs(t_em_ev - t_em_demand) <= _TORQUE_TOL
+        # Engine-assisted: engine clipped at wide-open throttle.
+        t_ice_mot = np.clip(t_ice_raw, 0.0, t_ice_max)
+        eng_meets = t_ice_raw <= t_ice_max + _TORQUE_TOL
+
+        t_em_final = np.where(braking, t_em_brk, np.where(ev_only, t_em_ev, t_em))
+        t_ice_final = np.where(braking | ev_only, 0.0, t_ice_mot)
+        meets = np.where(braking, True, np.where(ev_only, ev_meets, eng_meets))
+        meets = meets & motor_speed_ok
+        # Engine speed collapses to zero when it produces no torque (declutched).
+        engine_off = t_ice_final <= _TORQUE_TOL
+        omega_eng_final = np.where(engine_off, 0.0, omega_eng)
+
+        # Undelivered shaft torque for graceful fallback ranking.
+        delivered_shaft = (t_ice_final
+                           + np.asarray(trans.motor_torque_at_shaft(t_em_final),
+                                        dtype=float))
+        shortfall = np.where(braking, 0.0,
+                             np.maximum(t_shaft_req - delivered_shaft, 0.0))
+        shortfall = np.where(motor_speed_ok, shortfall, np.abs(t_shaft_req))
+
+        # Actual electrical balance after saturation.
+        p_em_act = np.asarray(
+            self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
+        p_batt_act = p_em_act + aux
+        i_act = np.asarray(self.battery.current_for_power(p_batt_act, soc),
+                           dtype=float)
+        # Regen may exceed the charge-current limit: clamp and shed the excess
+        # regeneration to the friction brakes.
+        over_chg = i_act < -self._params.battery.max_current
+        if np.any(over_chg):
+            i_clamped = self.battery.clamp_current(i_act)
+            p_batt_lim = np.asarray(
+                self.battery.terminal_power(i_clamped, soc), dtype=float)
+            p_em_lim = p_batt_lim - aux
+            t_em_lim_chg = np.asarray(
+                self.motor.torque_from_electrical_power(p_em_lim, omega_mot),
+                dtype=float)
+            t_em_final = np.where(over_chg, np.clip(t_em_lim_chg, -t_em_lim, 0.0),
+                                  t_em_final)
+            p_em_act = np.asarray(
+                self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
+            p_batt_act = p_em_act + aux
+            i_act = np.asarray(self.battery.current_for_power(p_batt_act, soc),
+                               dtype=float)
+        current_ok = np.asarray(self.battery.is_current_feasible(i_act))
+        # Whatever gets executed must be a physical current: clamp to the
+        # pack limit (the pre-clamp check above already marked the point
+        # infeasible, but the fallback path may still execute it).
+        i_act = np.asarray(self.battery.clamp_current(i_act), dtype=float)
+        # Discharge saturation (demand beyond pack power) shows up as the
+        # quadratic clamping inside current_for_power; flag it infeasible when
+        # the delivered bus power misses the requirement.
+        p_batt_check = np.asarray(self.battery.terminal_power(i_act, soc),
+                                  dtype=float)
+        power_ok = np.abs(p_batt_check - p_batt_act) <= np.maximum(
+            50.0, 0.02 * np.abs(p_batt_act))
+
+        soc_next = self._soc_after(i_act, soc, dt)
+        window = self._window_ok(soc_next)
+
+        fuel = np.asarray(
+            self.engine.fuel_rate(t_ice_final, omega_eng_final), dtype=float)
+        fuel = np.where(engine_off, 0.0, fuel)
+
+        brake = np.where(
+            braking,
+            np.minimum(wheel_torque - np.asarray(
+                trans.wheel_torque(0.0, t_em_final, gears), dtype=float), 0.0),
+            0.0)
+
+        feasible = meets & window & current_ok & power_ok
+        mode = classify(t_ice_final, t_em_final,
+                        np.full(len(gears), wheel_speed), braking)
+
+        return BatchResult(
+            feasible=feasible, mode=mode, power_demand=p_dem,
+            wheel_speed=wheel_speed, wheel_torque=wheel_torque,
+            gear=gears.copy(), engine_speed=omega_eng_final,
+            engine_torque=t_ice_final, motor_speed=omega_mot,
+            motor_torque=t_em_final, battery_current=i_act,
+            battery_power=p_batt_check, aux_power=aux.copy(), fuel_rate=fuel,
+            brake_torque=brake, meets_demand=meets, window_ok=window,
+            soc_next=soc_next, shortfall=shortfall)

@@ -1,0 +1,25 @@
+"""Prediction of future driving-profile characteristics (paper Section 4.2).
+
+The predicted quantity is the *propulsion power demand* — the paper argues
+it is more useful to the agent than predicted velocity because it relates
+directly to the chosen action.  The primary method is the exponential
+weighting function of Eq. 12; a Markov-chain predictor and a tiny
+feed-forward neural network (the paper's "ANN" alternative) are provided for
+the predictor-choice ablation.
+"""
+
+from repro.prediction.base import Predictor
+from repro.prediction.exponential import ExponentialPredictor
+from repro.prediction.markov import MarkovPredictor
+from repro.prediction.mlp import MLPPredictor
+from repro.prediction.quantize import PredictionQuantizer
+from repro.prediction.velocity import VelocityPredictor
+
+__all__ = [
+    "Predictor",
+    "ExponentialPredictor",
+    "MarkovPredictor",
+    "MLPPredictor",
+    "PredictionQuantizer",
+    "VelocityPredictor",
+]

@@ -1,0 +1,45 @@
+"""Exponential weighting predictor (paper Eq. 12).
+
+    pre_i = (1 - alpha) * pre_{i-1} + alpha * meas_{i-1}
+
+The paper selects this filter deliberately: prediction accuracy is
+inherently limited, and a more elaborate predictor only adds state-space
+dimensions to the RL algorithm.  The exponential filter captures the
+short-term power-demand trend — the quantity the agent's action (battery
+current, gear) couples to — at O(1) cost.
+"""
+
+from __future__ import annotations
+
+from repro.prediction.base import Predictor
+
+
+class ExponentialPredictor(Predictor):
+    """First-order exponential smoothing of the measured power demand."""
+
+    def __init__(self, learning_rate: float = 0.35, initial: float = 0.0):
+        """``learning_rate`` is the paper's alpha in (0, 1]; ``initial`` is the
+        prior prediction before any measurement arrives, W."""
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        self._alpha = learning_rate
+        self._initial = float(initial)
+        self._prediction = float(initial)
+
+    @property
+    def learning_rate(self) -> float:
+        """The smoothing factor alpha of Eq. 12."""
+        return self._alpha
+
+    def update(self, measurement: float) -> None:
+        """Apply the Eq. 12 recurrence with the completed step's demand, W."""
+        self._prediction = ((1.0 - self._alpha) * self._prediction
+                            + self._alpha * float(measurement))
+
+    def predict(self) -> float:
+        """Current smoothed prediction of the upcoming demand, W."""
+        return self._prediction
+
+    def reset(self) -> None:
+        """Restore the prior prediction (new episode)."""
+        self._prediction = self._initial

@@ -1,0 +1,83 @@
+"""Tiny feed-forward neural-network predictor (the paper's "ANN" alternative).
+
+A one-hidden-layer perceptron trained online by stochastic gradient descent
+on (history window -> next demand) pairs.  Inputs and targets are scaled to
+a fixed power range so the learning rate behaves uniformly across cycles.
+The network is deliberately small — the paper notes that heavier predictors
+buy little, because prediction accuracy is limited by driver randomness and
+extra precision bloats the RL state space anyway.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class MLPPredictor(Predictor):
+    """Online-trained single-hidden-layer MLP over a demand history window."""
+
+    def __init__(self, window: int = 8, hidden: int = 12,
+                 learning_rate: float = 0.02, power_scale: float = 30_000.0,
+                 seed: int = 7):
+        """``window`` past measurements feed ``hidden`` tanh units; weights
+        start at small seeded random values and train online by SGD."""
+        if window < 1 or hidden < 1:
+            raise ValueError("window and hidden size must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if power_scale <= 0:
+            raise ValueError("power scale must be positive")
+        self._window = window
+        self._scale = power_scale
+        self._lr = learning_rate
+        rng = np.random.default_rng(seed)
+        self._w1 = rng.normal(0.0, 0.3, size=(hidden, window))
+        self._b1 = np.zeros(hidden)
+        self._w2 = rng.normal(0.0, 0.3, size=hidden)
+        self._b2 = 0.0
+        self._history: deque = deque(maxlen=window)
+
+    def _features(self) -> np.ndarray:
+        """Scaled history window, zero-padded on the old side."""
+        x = np.zeros(self._window)
+        hist = list(self._history)
+        if hist:
+            x[-len(hist):] = np.asarray(hist) / self._scale
+        return x
+
+    def _forward(self, x: np.ndarray):
+        h = np.tanh(self._w1 @ x + self._b1)
+        y = float(self._w2 @ h + self._b2)
+        return h, y
+
+    def update(self, measurement: float) -> None:
+        """One SGD step on (history window -> measurement), then slide the
+        window forward."""
+        target = float(measurement) / self._scale
+        if len(self._history) == self._window:
+            # One SGD step on (previous window -> this measurement).
+            x = self._features()
+            h, y = self._forward(x)
+            err = y - target
+            grad_w2 = err * h
+            grad_h = err * self._w2 * (1.0 - h ** 2)
+            self._w2 -= self._lr * grad_w2
+            self._b2 -= self._lr * err
+            self._w1 -= self._lr * np.outer(grad_h, x)
+            self._b1 -= self._lr * grad_h
+        self._history.append(float(measurement))
+
+    def predict(self) -> float:
+        """Network output for the current history window, W."""
+        if not self._history:
+            return 0.0
+        _, y = self._forward(self._features())
+        return y * self._scale
+
+    def reset(self) -> None:
+        """Clear the episode history; learned weights persist across episodes."""
+        self._history.clear()

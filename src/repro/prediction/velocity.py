@@ -1,0 +1,57 @@
+"""Velocity-based demand prediction (the alternative the paper rejects).
+
+Section 4.2 observes that although one could predict either future
+*velocity* or future *power demand*, predicting the demand is more useful
+because it couples directly to the agent's action.  This predictor makes
+that comparison concrete: it exponentially smooths the measured velocity
+and converts the smoothed velocity to an equivalent steady-state power
+demand through the vehicle's road-load model (zero acceleration).  The
+predictor ablation shows what the indirection costs: transient demand
+(accelerations, braking) is invisible to a velocity average.
+"""
+
+from __future__ import annotations
+
+from repro.prediction.base import Predictor
+from repro.vehicle.dynamics import VehicleDynamics
+
+
+class VelocityPredictor(Predictor):
+    """Exponentially smoothed velocity mapped to steady-state power demand.
+
+    Feed :meth:`update_velocity` with the measured vehicle speed each step
+    (the generic :meth:`update` accepts the power-demand measurement for
+    interface compatibility but ignores it — this predictor deliberately
+    only looks at velocity).
+    """
+
+    def __init__(self, dynamics: VehicleDynamics,
+                 learning_rate: float = 0.35):
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        self._dynamics = dynamics
+        self._alpha = learning_rate
+        self._velocity = 0.0
+
+    def update_velocity(self, speed: float) -> None:
+        """Feed the measured vehicle speed of the completed step, m/s."""
+        if speed < 0:
+            raise ValueError("speed cannot be negative")
+        self._velocity = ((1.0 - self._alpha) * self._velocity
+                          + self._alpha * float(speed))
+
+    def update(self, measurement: float) -> None:
+        """Interface shim: power-demand measurements are ignored.
+
+        The simulator feeds every predictor the measured demand; this
+        predictor's information channel is :meth:`update_velocity`, wired
+        by the agent when it recognises the type.
+        """
+
+    def predict(self) -> float:
+        """Steady-state road-load power at the smoothed velocity, W."""
+        return float(self._dynamics.power_demand(self._velocity, 0.0))
+
+    def reset(self) -> None:
+        """Forget the smoothed velocity (new episode)."""
+        self._velocity = 0.0

@@ -1,0 +1,35 @@
+"""Reinforcement-learning core: the paper's joint control framework.
+
+Implements Section 4.3 end to end: the four-dimensional discretised state
+space (power demand, speed, battery charge, predicted demand level), the
+full and reduced action spaces, the reward coupling fuel to auxiliary
+utility, and the TD(lambda) learner of Algorithm 1 with the bounded
+M-most-recent eligibility-trace list.
+"""
+
+from repro.rl.discretize import StateDiscretizer, uniform_edges
+from repro.rl.qtable import QTable
+from repro.rl.traces import EligibilityTraces
+from repro.rl.reward import RewardConfig, RewardFunction
+from repro.rl.exploration import EpsilonGreedy
+from repro.rl.td_lambda import TDLambdaConfig, TDLambdaLearner
+from repro.rl.double_q import DoubleQLearner
+from repro.rl.agent import ActionSpaceConfig, JointControlAgent
+from repro.rl.persistence import load_policy, save_policy
+
+__all__ = [
+    "load_policy",
+    "save_policy",
+    "StateDiscretizer",
+    "uniform_edges",
+    "QTable",
+    "EligibilityTraces",
+    "RewardConfig",
+    "RewardFunction",
+    "EpsilonGreedy",
+    "TDLambdaConfig",
+    "TDLambdaLearner",
+    "DoubleQLearner",
+    "ActionSpaceConfig",
+    "JointControlAgent",
+]

@@ -1,0 +1,98 @@
+"""State-space discretisation (paper Section 4.3.1, Eq. 13-14).
+
+A state is ``s = [p_dem, v, q, pre]``: propulsion power demand, vehicle
+speed, battery charge, and the quantised prediction of upcoming demand.
+Each continuous component is binned by a strictly increasing edge list; the
+four bin indices are ravelled into a single integer state id so the
+Q-table can be a dense array.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def uniform_edges(low: float, high: float, num_bins: int) -> np.ndarray:
+    """Interior edges splitting ``[low, high]`` into ``num_bins`` equal bins.
+
+    This is how the paper's Eq. 14 charge levels ``q_1 < ... < q_N`` are
+    constructed over ``[q_min, q_max]``.
+    """
+    if num_bins < 1:
+        raise ValueError("need at least one bin")
+    if high <= low:
+        raise ValueError("empty range")
+    return np.linspace(low, high, num_bins + 1)[1:-1]
+
+
+class StateDiscretizer:
+    """Maps continuous HEV observations onto the finite RL state set."""
+
+    #: Default interior edges for the power-demand dimension, W.  Negative
+    #: bins separate braking from propulsion; positive ones cover the urban
+    #: and highway propulsion ranges of a compact HEV.  The defaults are
+    #: deliberately coarse — the paper stresses that the number of
+    #: state-action pairs bounds TD(lambda)'s convergence speed, and a
+    #: training budget of tens of episodes covers ~10^4 pairs, not ~10^5.
+    DEFAULT_POWER_EDGES = (-5_000.0, 500.0, 4_000.0, 9_000.0, 16_000.0)
+
+    #: Default interior edges for vehicle speed, m/s.
+    DEFAULT_SPEED_EDGES = (1.0, 8.0, 16.0, 24.0)
+
+    def __init__(self,
+                 power_edges: Sequence[float] = DEFAULT_POWER_EDGES,
+                 speed_edges: Sequence[float] = DEFAULT_SPEED_EDGES,
+                 soc_min: float = 0.40, soc_max: float = 0.80,
+                 soc_bins: int = 8, prediction_levels: int = 3):
+        for edges in (power_edges, speed_edges):
+            e = list(edges)
+            if any(b <= a for a, b in zip(e, e[1:])):
+                raise ValueError("bin edges must be strictly increasing")
+        if soc_bins < 1:
+            raise ValueError("need at least one SoC bin")
+        if prediction_levels < 1:
+            raise ValueError("need at least one prediction level")
+        if not 0.0 <= soc_min < soc_max <= 1.0:
+            raise ValueError("SoC window out of order")
+        self._power_edges = np.asarray(power_edges, dtype=float)
+        self._speed_edges = np.asarray(speed_edges, dtype=float)
+        self._soc_edges = uniform_edges(soc_min, soc_max, soc_bins)
+        self._shape = (
+            len(self._power_edges) + 1,
+            len(self._speed_edges) + 1,
+            soc_bins,
+            prediction_levels,
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        """Bin counts per dimension: (power, speed, charge, prediction)."""
+        return self._shape
+
+    @property
+    def num_states(self) -> int:
+        """Total number of discrete states |S|."""
+        return int(np.prod(self._shape))
+
+    def indices(self, power_demand: float, speed: float, soc: float,
+                prediction_level: int) -> Tuple[int, int, int, int]:
+        """Per-dimension bin indices of one observation."""
+        ip = int(np.searchsorted(self._power_edges, power_demand, side="right"))
+        iv = int(np.searchsorted(self._speed_edges, speed, side="right"))
+        iq = int(np.clip(np.searchsorted(self._soc_edges, soc, side="right"),
+                         0, self._shape[2] - 1))
+        il = int(np.clip(prediction_level, 0, self._shape[3] - 1))
+        return ip, iv, iq, il
+
+    def state_of(self, power_demand: float, speed: float, soc: float,
+                 prediction_level: int = 0) -> int:
+        """Ravel one observation into its integer state id."""
+        return int(np.ravel_multi_index(
+            self.indices(power_demand, speed, soc, prediction_level),
+            self._shape))
+
+    def unravel(self, state: int) -> Tuple[int, int, int, int]:
+        """Recover the per-dimension bin indices of a state id."""
+        return tuple(int(i) for i in np.unravel_index(state, self._shape))

@@ -1,0 +1,74 @@
+"""Saving and loading trained joint-control policies.
+
+A trained policy is more than the Q-table: reloading it requires the exact
+state discretisation, action grid, and reward weights it was trained with,
+or the table's rows and columns mean something else entirely.  This module
+serialises the Q-table (``.npz``) together with a JSON sidecar of the
+configuration fingerprint, and refuses to load a table into an agent whose
+configuration does not match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.rl.agent import JointControlAgent
+
+FORMAT_VERSION = 1
+"""Serialisation format version."""
+
+
+def _fingerprint(agent: JointControlAgent) -> dict:
+    """Configuration fingerprint that must match between save and load."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "num_states": agent.discretizer.num_states,
+        "state_shape": list(agent.discretizer.shape),
+        "num_rl_actions": agent.num_rl_actions,
+        "current_levels": [float(x) for x in agent.current_levels],
+        "aux_levels": [float(x) for x in agent.aux_levels],
+        "reduced": agent.action_config.reduced,
+        "has_predictor": agent.predictor is not None,
+        "aux_weight": agent.reward_config.aux_weight,
+    }
+
+
+def save_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
+    """Persist an agent's policy to ``<path>.npz`` + ``<path>.json``.
+
+    ``path`` is a stem: two files are written next to each other.
+    """
+    stem = Path(path)
+    agent.learner.qtable.save(stem.with_suffix(".npz"))
+    with open(stem.with_suffix(".json"), "w") as f:
+        json.dump(_fingerprint(agent), f, indent=2, sort_keys=True)
+
+
+def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
+    """Load a saved policy into a compatibly configured agent (in place).
+
+    Raises ``ValueError`` when the agent's configuration fingerprint does
+    not match the sidecar — a mismatched discretiser or action grid would
+    silently scramble the policy otherwise.
+    """
+    stem = Path(path)
+    with open(stem.with_suffix(".json")) as f:
+        saved = json.load(f)
+    current = _fingerprint(agent)
+    mismatched = {key for key in current
+                  if saved.get(key) != current[key]}
+    if mismatched:
+        raise ValueError(
+            "saved policy is incompatible with this agent; mismatched "
+            f"fields: {sorted(mismatched)}")
+    data = np.load(stem.with_suffix(".npz"))
+    q = data["q"]
+    if q.shape != agent.learner.qtable.values.shape:
+        raise ValueError(
+            f"Q-table shape {q.shape} does not match agent "
+            f"{agent.learner.qtable.values.shape}")
+    agent.learner.qtable.values[:] = q

@@ -1,0 +1,65 @@
+"""Bounded eligibility traces for TD(lambda) (paper Section 4.3.4).
+
+The eligibility e(s, a) measures how recently and frequently a state-action
+pair was visited; Algorithm 1 updates *all* pairs each step, but the paper
+notes that keeping only the M most recent pairs is exact up to lambda^M,
+which is negligible for modest M.  This class implements that bounded list:
+an ordered map from (state, action) to eligibility, decayed by gamma*lambda
+each step and truncated to the M most recent pairs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Tuple
+
+
+class EligibilityTraces:
+    """M-most-recent eligibility list for tabular TD(lambda)."""
+
+    def __init__(self, decay: float, max_entries: int = 64):
+        """``decay`` is the per-step factor gamma*lambda in [0, 1); pairs
+        beyond the ``max_entries`` most recent are dropped."""
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("trace decay must be in [0, 1)")
+        if max_entries < 1:
+            raise ValueError("need room for at least one trace entry")
+        self._decay = decay
+        self._max = max_entries
+        self._traces: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[int, int], float]]:
+        """Iterate over ((state, action), eligibility) pairs, oldest first."""
+        return iter(self._traces.items())
+
+    def get(self, state: int, action: int) -> float:
+        """Current eligibility of a pair (0 if not tracked)."""
+        return self._traces.get((state, action), 0.0)
+
+    def visit(self, state: int, action: int) -> None:
+        """Algorithm 1 line 6: accumulate the just-visited pair's trace.
+
+        The pair moves to the most-recent position; if the list overflows,
+        the oldest pair (whose eligibility is at most ``decay**M``) is
+        dropped.
+        """
+        key = (state, action)
+        value = self._traces.pop(key, 0.0) + 1.0
+        self._traces[key] = value
+        while len(self._traces) > self._max:
+            self._traces.popitem(last=False)
+
+    def decay(self) -> None:
+        """Algorithm 1 line 9: multiply every tracked eligibility by the decay."""
+        if self._decay == 0.0:
+            self._traces.clear()
+            return
+        for key in self._traces:
+            self._traces[key] *= self._decay
+
+    def clear(self) -> None:
+        """Drop all traces (start of a new episode)."""
+        self._traces.clear()

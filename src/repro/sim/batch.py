@@ -1,0 +1,120 @@
+"""Batch experiments: multi-seed, multi-cycle sweeps with summary statistics.
+
+A single RL training run carries seed noise; the batch runner repeats an
+experiment across seeds (and optionally cycles), aggregates the figures of
+merit (mean, standard deviation, extremes), and reports them in one
+structure.  The ablation benches and the examples use it to state results
+with honest error bars instead of single draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.control.base import Controller
+from repro.cycles.cycle import DriveCycle
+from repro.powertrain.solver import PowertrainSolver
+from repro.sim.results import EpisodeResult
+from repro.sim.simulator import Simulator
+from repro.sim.training import train
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of one scalar metric across repetitions."""
+
+    mean: float
+    """Sample mean."""
+
+    std: float
+    """Sample standard deviation (0 for a single repetition)."""
+
+    minimum: float
+    """Smallest observation."""
+
+    maximum: float
+    """Largest observation."""
+
+    count: int
+    """Number of repetitions."""
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarise a non-empty sequence of observations."""
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot summarise zero observations")
+        return cls(mean=float(arr.mean()),
+                   std=float(arr.std(ddof=0)),
+                   minimum=float(arr.min()),
+                   maximum=float(arr.max()),
+                   count=int(arr.size))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} +- {self.std:.2f} (n={self.count})"
+
+
+@dataclass
+class BatchResult:
+    """All evaluations of one batch experiment plus metric summaries."""
+
+    evaluations: List[EpisodeResult] = field(default_factory=list)
+    """Greedy evaluation of each repetition, in seed order."""
+
+    def summarize(self) -> Dict[str, Summary]:
+        """Summaries of the standard figures of merit."""
+        if not self.evaluations:
+            raise ValueError("empty batch")
+        return {
+            "total_fuel_g": Summary.of(
+                [e.total_fuel for e in self.evaluations]),
+            "corrected_fuel_g": Summary.of(
+                [e.corrected_fuel() for e in self.evaluations]),
+            "corrected_mpg": Summary.of(
+                [e.corrected_mpg() for e in self.evaluations]),
+            "paper_reward": Summary.of(
+                [e.total_paper_reward for e in self.evaluations]),
+            "final_soc": Summary.of(
+                [e.final_soc for e in self.evaluations]),
+        }
+
+
+def run_batch(controller_factory: Callable[[PowertrainSolver, int],
+                                           Controller],
+              solver_factory: Callable[[], PowertrainSolver],
+              cycle: DriveCycle, seeds: Sequence[int],
+              episodes: int = 30, initial_soc: float = 0.60) -> BatchResult:
+    """Train/evaluate one controller configuration across ``seeds``.
+
+    ``controller_factory(solver, seed)`` builds a fresh controller per
+    repetition; non-learning controllers simply ignore the seed and
+    ``episodes`` is irrelevant for them (pass 1 to skip useless drives —
+    the evaluation drive is always performed).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if episodes < 1:
+        raise ValueError("need at least one episode")
+    batch = BatchResult()
+    for seed in seeds:
+        solver = solver_factory()
+        simulator = Simulator(solver)
+        controller = controller_factory(solver, int(seed))
+        run = train(simulator, controller, cycle, episodes=episodes,
+                    initial_soc=initial_soc)
+        batch.evaluations.append(run.evaluation)
+    return batch
+
+
+def compare_batches(a: BatchResult, b: BatchResult,
+                    metric: str = "corrected_mpg") -> float:
+    """Mean difference ``a - b`` of one summarised metric."""
+    sa = a.summarize()
+    sb = b.summarize()
+    if metric not in sa:
+        raise KeyError(f"unknown metric {metric!r}; "
+                       f"available: {sorted(sa)}")
+    return sa[metric].mean - sb[metric].mean

@@ -1,0 +1,169 @@
+"""Per-episode simulation results.
+
+Everything the analysis layer and the benchmarks need: per-step traces for
+plotting and invariant checks, plus trip-level aggregates (fuel, MPG,
+cumulative rewards, SoC accounting) with the standard charge-sustaining
+fuel correction for fair comparisons between controllers that end an
+episode at different states of charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.units import mpg as mpg_of
+
+
+@dataclass
+class EpisodeResult:
+    """Traces and aggregates of one simulated drive."""
+
+    cycle_name: str
+    """Name of the driven cycle."""
+
+    dt: float
+    """Simulation step, s."""
+
+    distance: float
+    """Trip distance, m."""
+
+    speeds: np.ndarray
+    """Per-step vehicle speed, m/s."""
+
+    power_demand: np.ndarray
+    """Per-step propulsion power demand, W."""
+
+    fuel_rate: np.ndarray
+    """Per-step fuel mass-flow, g/s."""
+
+    reward: np.ndarray
+    """Per-step learning reward (penalties included)."""
+
+    paper_reward: np.ndarray
+    """Per-step unpenalised reward (the paper's Table 2 quantity)."""
+
+    soc: np.ndarray
+    """Per-step post-step state of charge (fraction)."""
+
+    current: np.ndarray
+    """Per-step battery current, A."""
+
+    gear: np.ndarray
+    """Per-step executed gear index."""
+
+    aux_power: np.ndarray
+    """Per-step auxiliary draw, W."""
+
+    mode: np.ndarray
+    """Per-step operating-mode id."""
+
+    feasible: np.ndarray
+    """Per-step flag; False marks fallback steps."""
+
+    initial_soc: float
+    """State of charge at departure (fraction)."""
+
+    battery_capacity: float
+    """Pack capacity, Coulombs (for SoC-correction accounting)."""
+
+    nominal_voltage: float
+    """Pack nominal voltage, V (for SoC-correction accounting)."""
+
+    fuel_energy_density: float
+    """Fuel lower heating value, J/g."""
+
+    # --- aggregates -------------------------------------------------------------
+
+    @property
+    def total_fuel(self) -> float:
+        """Fuel burned over the trip, g."""
+        return float(np.sum(self.fuel_rate) * self.dt)
+
+    @property
+    def total_reward(self) -> float:
+        """Cumulative learning reward."""
+        return float(np.sum(self.reward))
+
+    @property
+    def total_paper_reward(self) -> float:
+        """Cumulative unpenalised reward — the quantity in the paper's Table 2."""
+        return float(np.sum(self.paper_reward))
+
+    @property
+    def final_soc(self) -> float:
+        """State of charge at the end of the trip (fraction)."""
+        return float(self.soc[-1]) if len(self.soc) else self.initial_soc
+
+    @property
+    def soc_deficit_energy(self) -> float:
+        """Electrical energy the trip drew from (positive) or banked into
+        (negative) the pack, J, relative to the initial charge."""
+        delta_charge = (self.initial_soc - self.final_soc) * self.battery_capacity
+        return delta_charge * self.nominal_voltage
+
+    def corrected_fuel(self, conversion_efficiency: float = 0.30) -> float:
+        """Charge-sustaining corrected fuel mass, g.
+
+        Adds (or credits) the fuel the engine would need to restore the
+        battery to its initial charge, assuming it converts fuel energy to
+        stored electricity at ``conversion_efficiency`` — the standard SAE
+        J1711-style correction that makes fuel figures comparable between
+        controllers with different final SoC.
+        """
+        if not 0.0 < conversion_efficiency <= 1.0:
+            raise ValueError("conversion efficiency must be in (0, 1]")
+        extra = self.soc_deficit_energy / (conversion_efficiency
+                                           * self.fuel_energy_density)
+        return max(self.total_fuel + extra, 0.0)
+
+    def corrected_paper_reward(self,
+                               conversion_efficiency: float = 0.30) -> float:
+        """Charge-corrected cumulative reward.
+
+        The paper's cumulative reward ``sum((-mdot_f + w f_aux) dT)`` with
+        the fuel term replaced by the charge-sustaining corrected fuel —
+        i.e. the reward is additionally charged (or credited) for the
+        battery energy the trip consumed (banked) relative to its initial
+        charge.  Comparisons between controllers whose final SoC differs
+        are only meaningful on this corrected quantity.
+        """
+        return self.total_paper_reward - (
+            self.corrected_fuel(conversion_efficiency) - self.total_fuel)
+
+    @property
+    def mpg(self) -> float:
+        """Raw miles-per-gallon of the trip (no SoC correction)."""
+        return mpg_of(self.distance, self.total_fuel)
+
+    def corrected_mpg(self, conversion_efficiency: float = 0.30) -> float:
+        """Charge-sustaining corrected miles-per-gallon."""
+        return mpg_of(self.distance, self.corrected_fuel(conversion_efficiency))
+
+    @property
+    def fallback_steps(self) -> int:
+        """Number of steps executed through the fallback path."""
+        return int(np.sum(~self.feasible))
+
+    @property
+    def mean_aux_power(self) -> float:
+        """Average auxiliary draw over the trip, W."""
+        return float(np.mean(self.aux_power)) if len(self.aux_power) else 0.0
+
+    def mode_fractions(self) -> Dict[int, float]:
+        """Share of steps spent in each operating mode."""
+        total = len(self.mode)
+        if total == 0:
+            return {}
+        ids, counts = np.unique(self.mode, return_counts=True)
+        return {int(i): float(c) / total for i, c in zip(ids, counts)}
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.cycle_name}: fuel={self.total_fuel:.1f}g "
+                f"mpg={self.corrected_mpg():.1f} "
+                f"reward={self.total_paper_reward:.2f} "
+                f"SoC {self.initial_soc:.2f}->{self.final_soc:.2f} "
+                f"fallbacks={self.fallback_steps}")

@@ -1,0 +1,85 @@
+"""Step-by-step episode simulation.
+
+The simulator owns the physical truth: it replays the drive cycle, hands
+the controller only what is observable, applies the executed action to the
+battery by Coulomb counting, and collects the traces into an
+:class:`EpisodeResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.base import Controller
+from repro.cycles.cycle import DriveCycle
+from repro.powertrain.solver import PowertrainSolver
+from repro.sim.results import EpisodeResult
+
+
+class Simulator:
+    """Replays drive cycles against a controller."""
+
+    def __init__(self, solver: PowertrainSolver):
+        self._solver = solver
+
+    @property
+    def solver(self) -> PowertrainSolver:
+        """The shared powertrain solver."""
+        return self._solver
+
+    def run_episode(self, controller: Controller, cycle: DriveCycle,
+                    initial_soc: float = 0.60, learn: bool = True,
+                    greedy: bool = False) -> EpisodeResult:
+        """Drive ``cycle`` once under ``controller``.
+
+        ``learn`` lets learning controllers update their policy during the
+        drive; ``greedy`` forces pure exploitation (evaluation runs use
+        ``learn=False, greedy=True``).
+        """
+        battery = self._solver.battery
+        params = battery.params
+        state = battery.initial_state(initial_soc)
+
+        steps = len(cycle) - 1
+        fuel = np.zeros(steps)
+        reward = np.zeros(steps)
+        paper_reward = np.zeros(steps)
+        soc_trace = np.zeros(steps)
+        current = np.zeros(steps)
+        gear = np.zeros(steps, dtype=int)
+        aux = np.zeros(steps)
+        mode = np.zeros(steps, dtype=int)
+        feasible = np.zeros(steps, dtype=bool)
+        p_dem = np.zeros(steps)
+        speeds = np.zeros(steps)
+
+        controller.begin_episode()
+        for t, (speed, accel, grade) in enumerate(cycle.steps()):
+            soc = battery.soc(state)
+            step = controller.act(speed, accel, soc, cycle.dt, grade,
+                                  learn=learn, greedy=greedy)
+            state = battery.step(state, step.current, cycle.dt)
+
+            speeds[t] = speed
+            p_dem[t] = step.power_demand
+            fuel[t] = step.fuel_rate
+            reward[t] = step.reward
+            paper_reward[t] = step.paper_reward
+            soc_trace[t] = battery.soc(state)
+            current[t] = step.current
+            gear[t] = step.gear
+            aux[t] = step.aux_power
+            mode[t] = step.mode
+            feasible[t] = step.feasible
+        controller.finish_episode(learn=learn)
+
+        nominal_voltage = float(battery.open_circuit_voltage(
+            0.5 * (params.soc_min + params.soc_max)))
+        return EpisodeResult(
+            cycle_name=cycle.name, dt=cycle.dt, distance=cycle.distance,
+            speeds=speeds, power_demand=p_dem, fuel_rate=fuel, reward=reward,
+            paper_reward=paper_reward, soc=soc_trace, current=current,
+            gear=gear, aux_power=aux, mode=mode, feasible=feasible,
+            initial_soc=initial_soc, battery_capacity=params.capacity,
+            nominal_voltage=nominal_voltage,
+            fuel_energy_density=self._solver.engine.fuel_energy_density)

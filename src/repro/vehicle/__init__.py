@@ -1,0 +1,46 @@
+"""Vehicle substrate: quasi-static component models of a parallel HEV.
+
+The subpackage implements every component model the paper's Section 2 relies
+on: longitudinal vehicle dynamics, the quasi-static internal-combustion
+engine, the electric machine, the Rint battery pack with Coulomb counting,
+the multi-speed gearbox plus reduction gear, and the auxiliary-system load
+and utility models.
+"""
+
+from repro.vehicle.params import (
+    AuxiliaryParams,
+    BatteryParams,
+    BodyParams,
+    EngineParams,
+    MotorParams,
+    TransmissionParams,
+    VehicleParams,
+    default_vehicle,
+)
+from repro.vehicle.dynamics import VehicleDynamics, RoadLoad
+from repro.vehicle.engine import Engine
+from repro.vehicle.motor import Motor
+from repro.vehicle.battery import Battery, BatteryState
+from repro.vehicle.transmission import Transmission
+from repro.vehicle.auxiliary import AuxiliarySystem, AuxiliaryLoad, UtilityFunction
+
+__all__ = [
+    "AuxiliaryParams",
+    "BatteryParams",
+    "BodyParams",
+    "EngineParams",
+    "MotorParams",
+    "TransmissionParams",
+    "VehicleParams",
+    "default_vehicle",
+    "VehicleDynamics",
+    "RoadLoad",
+    "Engine",
+    "Motor",
+    "Battery",
+    "BatteryState",
+    "Transmission",
+    "AuxiliarySystem",
+    "AuxiliaryLoad",
+    "UtilityFunction",
+]

@@ -1,0 +1,312 @@
+"""Parameter sets for every HEV component.
+
+The paper's Table 1 ("HEV key parameters") is published only as an image, so
+the concrete numbers here follow the ADVISOR ``PRIUS_JPN``-class parallel-HEV
+defaults that the paper's simulation is based on: a ~1.5 t compact car with a
+43 kW spark-ignition engine, a 30 kW permanent-magnet machine, and a 6.5 Ah /
+276 V NiMH pack operated in a 40%-80% state-of-charge window (the window the
+paper states explicitly in Section 4.3.1).
+
+Every component model in :mod:`repro.vehicle` is constructed from one of the
+frozen dataclasses below, and :func:`default_vehicle` assembles the complete
+set.  Keeping parameters in plain dataclasses (instead of burying constants in
+the models) is what lets the benchmarks sweep them for the ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.units import GASOLINE_ENERGY_DENSITY
+
+
+@dataclass(frozen=True)
+class BodyParams:
+    """Parameters of the vehicle body used by the longitudinal dynamics (Eq. 5)."""
+
+    mass: float = 1500.0
+    """Curb mass plus payload, kg."""
+
+    drag_coefficient: float = 0.30
+    """Aerodynamic drag coefficient ``C_D`` (dimensionless)."""
+
+    frontal_area: float = 2.0
+    """Frontal area ``A_F``, m^2."""
+
+    rolling_resistance: float = 0.009
+    """Rolling friction coefficient ``C_R`` (dimensionless)."""
+
+    wheel_radius: float = 0.287
+    """Dynamic wheel radius ``r_wh``, m."""
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise ValueError("vehicle mass must be positive")
+        if self.wheel_radius <= 0:
+            raise ValueError("wheel radius must be positive")
+        if not 0 <= self.rolling_resistance < 1:
+            raise ValueError("rolling resistance coefficient out of range")
+        if self.drag_coefficient < 0 or self.frontal_area <= 0:
+            raise ValueError("aerodynamic parameters out of range")
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Quasi-static spark-ignition engine parameters (Eq. 1-2).
+
+    The torque limit and efficiency map are parametric surfaces rather than
+    lookup tables: a concave maximum-torque curve peaking at
+    ``peak_torque_speed`` and an efficiency hill centred on
+    (``optimal_speed``, ``optimal_torque_fraction * T_max``).  This mirrors
+    the shape of the ADVISOR steady-state fuel maps while remaining fully
+    self-contained.
+    """
+
+    max_power: float = 43_000.0
+    """Rated mechanical power, W."""
+
+    max_torque: float = 102.0
+    """Peak torque of the wide-open-throttle curve, N*m."""
+
+    min_speed: float = 104.7
+    """Minimum (idle) crankshaft speed ``omega_min``, rad/s (~1000 rpm)."""
+
+    max_speed: float = 471.2
+    """Maximum crankshaft speed ``omega_max``, rad/s (~4500 rpm)."""
+
+    peak_torque_speed: float = 230.0
+    """Speed at which the torque curve peaks, rad/s (~2200 rpm)."""
+
+    peak_efficiency: float = 0.36
+    """Best brake thermal efficiency on the map (dimensionless)."""
+
+    optimal_speed: float = 240.0
+    """Crankshaft speed of the efficiency sweet spot, rad/s."""
+
+    optimal_torque_fraction: float = 0.75
+    """Sweet-spot torque as a fraction of ``T_max(optimal_speed)``."""
+
+    efficiency_floor: float = 0.08
+    """Lowest efficiency anywhere on the admissible map (dimensionless)."""
+
+    speed_falloff: float = 0.55
+    """Relative efficiency lost at the speed extremes (shape parameter)."""
+
+    torque_falloff: float = 0.80
+    """Relative efficiency lost at the torque extremes (shape parameter)."""
+
+    idle_fuel_rate: float = 0.12
+    """Fuel burned just to keep the engine spinning unloaded, g/s."""
+
+    fuel_energy_density: float = GASOLINE_ENERGY_DENSITY
+    """Lower heating value ``D_f`` of the fuel, J/g."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_speed < self.max_speed:
+            raise ValueError("engine speed limits out of order")
+        if not self.min_speed <= self.peak_torque_speed <= self.max_speed:
+            raise ValueError("peak-torque speed outside the operating range")
+        if not 0 < self.peak_efficiency < 1:
+            raise ValueError("peak efficiency must be in (0, 1)")
+        if not 0 < self.efficiency_floor <= self.peak_efficiency:
+            raise ValueError("efficiency floor must be in (0, peak]")
+        if self.max_power <= 0 or self.max_torque <= 0:
+            raise ValueError("engine ratings must be positive")
+        if self.idle_fuel_rate < 0:
+            raise ValueError("idle fuel rate cannot be negative")
+
+
+@dataclass(frozen=True)
+class MotorParams:
+    """Permanent-magnet electric machine parameters (Eq. 3-4).
+
+    Below ``base_speed`` the machine is torque-limited at ``max_torque``;
+    above it, power-limited at ``max_power`` (the usual constant-torque /
+    constant-power envelope).  The same envelope bounds generating torque.
+    """
+
+    max_power: float = 30_000.0
+    """Rated electrical-side power, W."""
+
+    max_torque: float = 120.0
+    """Peak motoring torque below base speed, N*m."""
+
+    max_speed: float = 1000.0
+    """Maximum rotor speed ``omega_max``, rad/s (must exceed the reduction
+    ratio times the engine's maximum speed, since the EM is permanently
+    geared to the crankshaft)."""
+
+    base_speed: float = 250.0
+    """Corner speed of the constant-torque/constant-power envelope, rad/s."""
+
+    peak_efficiency: float = 0.92
+    """Best map efficiency (dimensionless), applies in both quadrants."""
+
+    efficiency_floor: float = 0.60
+    """Lowest efficiency anywhere on the admissible map (dimensionless)."""
+
+    optimal_speed_fraction: float = 0.40
+    """Location of the efficiency sweet spot as a fraction of ``max_speed``."""
+
+    optimal_torque_fraction: float = 0.55
+    """Sweet-spot torque as a fraction of the local torque limit."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_speed < self.max_speed:
+            raise ValueError("motor base speed must lie inside (0, max_speed)")
+        if not 0 < self.peak_efficiency < 1:
+            raise ValueError("peak efficiency must be in (0, 1)")
+        if not 0 < self.efficiency_floor <= self.peak_efficiency:
+            raise ValueError("efficiency floor must be in (0, peak]")
+        if self.max_power <= 0 or self.max_torque <= 0:
+            raise ValueError("motor ratings must be positive")
+
+
+@dataclass(frozen=True)
+class BatteryParams:
+    """Rint-model NiMH traction battery parameters.
+
+    The open-circuit voltage is affine in state of charge between
+    ``voltage_at_empty`` and ``voltage_at_full`` (a good fit for NiMH inside
+    the narrow 40%-80% operating window), and charge/discharge internal
+    resistances differ as they do in the ADVISOR ESS data files.
+    """
+
+    capacity: float = 6.5 * 3600.0
+    """Nominal capacity, Coulombs (6.5 Ah)."""
+
+    voltage_at_empty: float = 249.0
+    """Open-circuit voltage at 0% SoC, V."""
+
+    voltage_at_full: float = 294.0
+    """Open-circuit voltage at 100% SoC, V."""
+
+    discharge_resistance: float = 0.60
+    """Internal resistance while discharging, Ohm (pack level)."""
+
+    charge_resistance: float = 0.72
+    """Internal resistance while charging, Ohm (pack level)."""
+
+    max_current: float = 80.0
+    """Magnitude bound ``I_max`` on charge/discharge current, A."""
+
+    soc_min: float = 0.40
+    """Lower bound of the charge-sustaining SoC window (fraction)."""
+
+    soc_max: float = 0.80
+    """Upper bound of the charge-sustaining SoC window (fraction)."""
+
+    coulombic_efficiency: float = 0.98
+    """Fraction of charging Coulombs actually stored."""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("battery capacity must be positive")
+        if not 0 <= self.soc_min < self.soc_max <= 1:
+            raise ValueError("SoC window must satisfy 0 <= min < max <= 1")
+        if self.voltage_at_full <= self.voltage_at_empty:
+            raise ValueError("OCV must increase with SoC")
+        if self.discharge_resistance <= 0 or self.charge_resistance <= 0:
+            raise ValueError("internal resistances must be positive")
+        if self.max_current <= 0:
+            raise ValueError("current limit must be positive")
+        if not 0 < self.coulombic_efficiency <= 1:
+            raise ValueError("coulombic efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TransmissionParams:
+    """Gearbox and reduction-gear parameters (Eq. 8-10).
+
+    ``gear_ratios`` already include the final-drive ratio, i.e. ``R(k)`` maps
+    wheel speed directly to crankshaft speed as in Eq. 8.  ``reduction_ratio``
+    is the paper's ``rho_reg`` coupling the EM to the crankshaft.
+    """
+
+    gear_ratios: Tuple[float, ...] = (13.45, 7.57, 5.01, 3.77, 3.01)
+    """``R(k)`` for k = 1..5, including the final drive (wheel -> engine)."""
+
+    reduction_ratio: float = 1.80
+    """EM reduction-gear ratio ``rho_reg`` (engine shaft -> EM shaft)."""
+
+    gearbox_efficiency: float = 0.95
+    """Gearbox efficiency ``eta_gb`` per Eq. 8 (dimensionless)."""
+
+    reduction_efficiency: float = 0.97
+    """Reduction-gear efficiency ``eta_reg`` per Eq. 8 (dimensionless)."""
+
+    def __post_init__(self) -> None:
+        if len(self.gear_ratios) < 2:
+            raise ValueError("need at least two gear ratios")
+        if any(r <= 0 for r in self.gear_ratios):
+            raise ValueError("gear ratios must be positive")
+        if list(self.gear_ratios) != sorted(self.gear_ratios, reverse=True):
+            raise ValueError("gear ratios must be strictly decreasing")
+        if self.reduction_ratio <= 0:
+            raise ValueError("reduction ratio must be positive")
+        for eta in (self.gearbox_efficiency, self.reduction_efficiency):
+            if not 0 < eta <= 1:
+                raise ValueError("gear efficiencies must be in (0, 1]")
+
+    @property
+    def num_gears(self) -> int:
+        """Number of selectable gears."""
+        return len(self.gear_ratios)
+
+
+@dataclass(frozen=True)
+class AuxiliaryParams:
+    """Auxiliary-system (HVAC + lighting + electronics) parameters.
+
+    The utility function is the quasi-concave shape of Section 2.1.5: maximal
+    at ``preferred_power`` (600 W in the paper's experiments) and falling off
+    quadratically on both sides.
+    """
+
+    preferred_power: float = 600.0
+    """Most desirable total auxiliary power draw, W (the paper uses 600 W)."""
+
+    max_power: float = 2000.0
+    """Hard cap on auxiliary power draw, W."""
+
+    min_power: float = 100.0
+    """Floor demanded by safety-critical loads (lights, ECU), W."""
+
+    utility_width: float = 600.0
+    """Power deviation at which utility has dropped by 1.0, W."""
+
+    utility_peak: float = 0.0
+    """Utility value at the preferred operating power (dimensionless).
+
+    Zero by default so the utility is a pure deviation penalty and the
+    joint reward ``(-mdot_f + w f_aux) dT`` stays negative, matching the
+    sign of the paper's Table 2 cumulative rewards.  The offset does not
+    affect any control decision (it is constant across actions)."""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_power <= self.preferred_power <= self.max_power:
+            raise ValueError("auxiliary power levels out of order")
+        if self.utility_width <= 0:
+            raise ValueError("utility width must be positive")
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """The complete parameter set of the simulated parallel HEV."""
+
+    body: BodyParams = field(default_factory=BodyParams)
+    engine: EngineParams = field(default_factory=EngineParams)
+    motor: MotorParams = field(default_factory=MotorParams)
+    battery: BatteryParams = field(default_factory=BatteryParams)
+    transmission: TransmissionParams = field(default_factory=TransmissionParams)
+    auxiliary: AuxiliaryParams = field(default_factory=AuxiliaryParams)
+
+
+def default_vehicle() -> VehicleParams:
+    """Return the default Prius-class parallel HEV parameter set.
+
+    This is the vehicle every test, example, and benchmark uses unless it
+    deliberately overrides a component (the ablation benches do).
+    """
+    return VehicleParams()

@@ -1,0 +1,89 @@
+"""Property-based tests of the joint agent's acting loop.
+
+Hypothesis drives the agent through random demand sequences and checks the
+invariants the rest of the system relies on: executed steps are always
+physical, state ids valid, pending-transition bookkeeping consistent, and
+the executed current always matches what the battery will be stepped with.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.powertrain import PowertrainSolver
+from repro.prediction import ExponentialPredictor
+from repro.rl.agent import JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.vehicle import default_vehicle
+
+_SOLVER = PowertrainSolver(default_vehicle())
+
+
+def make_agent(seed=0):
+    return JointControlAgent(_SOLVER, predictor=ExponentialPredictor(),
+                             exploration=EpsilonGreedy(seed=seed), seed=seed)
+
+
+demand_step = st.tuples(
+    st.floats(min_value=0.0, max_value=28.0),    # speed
+    st.floats(min_value=-2.0, max_value=1.5),    # acceleration
+)
+
+
+class TestActInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(demand_step, min_size=3, max_size=12),
+           st.floats(min_value=0.44, max_value=0.76))
+    def test_episode_invariants(self, steps, soc0):
+        agent = make_agent()
+        agent.begin_episode()
+        battery = _SOLVER.battery
+        state = battery.initial_state(soc0)
+        for v, a in steps:
+            soc = battery.soc(state)
+            step = agent.act(v, a, soc, dt=1.0, learn=True)
+            # Physicality.
+            assert step.fuel_rate >= 0.0
+            assert abs(step.current) <= battery.params.max_current + 1e-6
+            assert 0.0 <= step.soc_next <= 1.0
+            assert 0 <= step.gear < _SOLVER.transmission.num_gears
+            # State id valid.
+            assert 0 <= step.state < agent.discretizer.num_states
+            # Learning rewards never exceed the pure-utility bound.
+            assert step.reward <= 1.0 + battery.params.max_current
+            # Stepping the battery with the executed current reproduces
+            # the solver's claimed next SoC.
+            state = battery.step(state, step.current, 1.0)
+            assert battery.soc(state) == pytest.approx(step.soc_next,
+                                                       abs=1e-9)
+        agent.finish_episode()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(demand_step, min_size=2, max_size=8))
+    def test_greedy_mode_is_pure(self, steps):
+        """Evaluation must not mutate the Q-table or the predictor state
+        across episodes."""
+        agent = make_agent(seed=3)
+        agent.begin_episode()
+        before = agent.learner.qtable.values.copy()
+        for v, a in steps:
+            agent.act(v, a, 0.6, dt=1.0, learn=False, greedy=True)
+        agent.finish_episode(learn=False)
+        assert np.array_equal(agent.learner.qtable.values, before)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(demand_step, min_size=2, max_size=8),
+           st.integers(min_value=0, max_value=10_000))
+    def test_determinism_given_seed(self, steps, seed):
+        def run():
+            agent = make_agent(seed=seed)
+            agent.begin_episode()
+            out = []
+            for v, a in steps:
+                step = agent.act(v, a, 0.6, dt=1.0, learn=True)
+                out.append((step.rl_action, step.gear,
+                            round(step.fuel_rate, 9)))
+            return out
+
+        assert run() == run()

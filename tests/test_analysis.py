@@ -1,0 +1,72 @@
+"""Tests of the analysis metrics and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    improvement_percent,
+    normalized_fuel,
+    render_figure_series,
+    render_table,
+    reward_gap_percent,
+)
+
+
+class TestMetrics:
+    def test_normalized_fuel(self):
+        assert normalized_fuel(90.0, 100.0) == pytest.approx(0.9)
+
+    def test_normalized_fuel_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalized_fuel(90.0, 0.0)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(58.0, 50.0) == pytest.approx(16.0)
+
+    def test_improvement_percent_negative(self):
+        assert improvement_percent(45.0, 50.0) == pytest.approx(-10.0)
+
+    def test_improvement_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(1.0, 0.0)
+
+    def test_reward_gap_paper_semantics(self):
+        # Table 2 UDDS: proposed -754.85, rule-based -849.25 -> ~11.1%.
+        gap = reward_gap_percent(-754.85, -849.25)
+        assert gap == pytest.approx(11.1, abs=0.1)
+
+    def test_reward_gap_negative_when_proposed_worse(self):
+        assert reward_gap_percent(-200.0, -100.0) < 0.0
+
+
+class TestRenderTable:
+    def test_contains_rows_and_columns(self):
+        text = render_table("Table 2", ["Proposed", "Rule-based"],
+                            {"UDDS": [-754.85, -849.25],
+                             "SC03": [-284.14, -319.66]})
+        assert "Table 2" in text
+        assert "UDDS" in text
+        assert "-754.85" in text
+        assert "Rule-based" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], {"r": [1.0]})
+
+    def test_precision(self):
+        text = render_table("t", ["a"], {"r": [1.23456]}, precision=3)
+        assert "1.235" in text
+
+
+class TestRenderFigureSeries:
+    def test_groups_and_series(self):
+        text = render_figure_series(
+            "Fig 2", {"with": {"UDDS": 0.9}, "without": {"UDDS": 1.0}})
+        assert "Fig 2" in text
+        assert "UDDS" in text
+        assert "with=0.900" in text
+        assert "without=1.000" in text
+
+    def test_missing_group_entries_tolerated(self):
+        text = render_figure_series(
+            "f", {"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "x" in text and "y" in text

@@ -1,0 +1,68 @@
+"""Tests of the top-level package API and the operating-mode classifier."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import quick_agent
+from repro.control.rl_controller import RLController
+from repro.powertrain.modes import OperatingMode, classify
+from repro.sim import Simulator
+
+
+class TestQuickAgent:
+    def test_returns_controller_and_simulator(self):
+        controller, simulator = quick_agent()
+        assert isinstance(controller, RLController)
+        assert isinstance(simulator, Simulator)
+
+    def test_variant_forwarded(self):
+        controller, _ = quick_agent(variant="baseline13")
+        assert controller.agent.predictor is None
+
+    def test_custom_params(self):
+        from repro.vehicle import BodyParams, VehicleParams
+        params = VehicleParams(body=BodyParams(mass=1800.0))
+        _, simulator = quick_agent(params=params)
+        assert simulator.solver.params.body.mass == 1800.0
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestModeClassifier:
+    def test_ice_only(self):
+        mode = classify(np.array([50.0]), np.array([0.0]), np.array([30.0]),
+                        np.array([False]))
+        assert mode[0] == OperatingMode.ICE_ONLY
+
+    def test_em_only(self):
+        mode = classify(np.array([0.0]), np.array([40.0]), np.array([30.0]),
+                        np.array([False]))
+        assert mode[0] == OperatingMode.EM_ONLY
+
+    def test_hybrid(self):
+        mode = classify(np.array([50.0]), np.array([40.0]), np.array([30.0]),
+                        np.array([False]))
+        assert mode[0] == OperatingMode.HYBRID
+
+    def test_charging(self):
+        mode = classify(np.array([50.0]), np.array([-20.0]), np.array([30.0]),
+                        np.array([False]))
+        assert mode[0] == OperatingMode.CHARGING
+
+    def test_regen(self):
+        mode = classify(np.array([0.0]), np.array([-20.0]), np.array([30.0]),
+                        np.array([True]))
+        assert mode[0] == OperatingMode.REGEN
+
+    def test_standstill_is_idle(self):
+        mode = classify(np.array([0.0]), np.array([0.0]), np.array([0.0]),
+                        np.array([False]))
+        assert mode[0] == OperatingMode.IDLE
+
+    def test_vectorised(self):
+        modes = classify(
+            np.array([50.0, 0.0]), np.array([0.0, 40.0]),
+            np.array([30.0, 30.0]), np.array([False, False]))
+        assert list(modes) == [OperatingMode.ICE_ONLY, OperatingMode.EM_ONLY]

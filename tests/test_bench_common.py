@@ -1,0 +1,51 @@
+"""Tests of the shared benchmark infrastructure in :mod:`benchmarks.common`.
+
+The benches themselves take minutes; their plumbing (budget resolution,
+cycle doubling, report persistence) is cheap and worth pinning down here.
+"""
+
+import pytest
+
+from benchmarks import common
+
+
+class TestBudgets:
+    def test_default_budget(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_EPISODES", raising=False)
+        assert common.bench_episodes() == 60
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_EPISODES", "15")
+        assert common.bench_episodes() == 15
+
+    def test_ablation_budget_is_capped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_EPISODES", raising=False)
+        # Ablations keep their own small default even when the main budget
+        # is larger ...
+        assert common.ablation_episodes(25) == 25
+        # ... but shrink for quick passes.
+        monkeypatch.setenv("REPRO_BENCH_EPISODES", "8")
+        assert common.ablation_episodes(25) == 8
+
+
+class TestBenchCycle:
+    def test_doubles_the_cycle(self):
+        from repro.cycles import standard_cycle
+        doubled = common.bench_cycle("SC03")
+        single = standard_cycle("SC03")
+        assert doubled.distance == pytest.approx(2 * single.distance)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            common.bench_cycle("NOPE")
+
+
+class TestReport:
+    def test_report_queues_and_persists(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "_RESULTS_DIR", str(tmp_path))
+        before = len(common.REPORTS)
+        common.report("unit_test_report", "hello table")
+        assert len(common.REPORTS) == before + 1
+        assert (tmp_path / "unit_test_report.txt").read_text() == \
+            "hello table\n"
+        common.REPORTS.pop()  # leave global state as found

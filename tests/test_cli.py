@@ -1,0 +1,76 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCyclesCommand:
+    def test_list(self, capsys):
+        assert main(["cycles"]) == 0
+        out = capsys.readouterr().out
+        assert "UDDS" in out
+        assert "HWFET" in out
+
+    def test_export(self, tmp_path, capsys):
+        out_path = tmp_path / "udds.csv"
+        assert main(["cycles", "--export", "UDDS",
+                     "--output", str(out_path)]) == 0
+        assert out_path.exists()
+        header = out_path.read_text().splitlines()[0]
+        assert "time_s" in header
+
+    def test_unknown_cycle_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["cycles", "--export", "NOPE",
+                  "--output", str(tmp_path / "x.csv")])
+
+
+class TestTrainCommand:
+    def test_train_and_save(self, tmp_path, capsys):
+        stem = tmp_path / "policy"
+        assert main(["train", "--cycle", "SC03", "--episodes", "2",
+                     "--repeats", "1", "--save", str(stem)]) == 0
+        assert stem.with_suffix(".npz").exists()
+        out = capsys.readouterr().out
+        assert "greedy evaluation" in out
+
+
+class TestEvaluateCommand:
+    def test_rule_based(self, capsys):
+        assert main(["evaluate", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "rule-based"]) == 0
+        out = capsys.readouterr().out
+        assert "regen share" in out
+        assert "mode share" in out
+
+    def test_rl_with_saved_policy(self, tmp_path, capsys):
+        stem = tmp_path / "p"
+        main(["train", "--cycle", "SC03", "--episodes", "2",
+              "--repeats", "1", "--save", str(stem)])
+        assert main(["evaluate", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "rl", "--policy", str(stem)]) == 0
+
+    def test_thermostat(self, capsys):
+        assert main(["evaluate", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "thermostat"]) == 0
+
+
+class TestCompareCommand:
+    def test_compare_prints_ladder(self, capsys):
+        assert main(["compare", "--cycle", "SC03", "--episodes", "2",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rl (proposed)" in out
+        assert "ecms" in out
+        assert "thermostat" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--variant", "nope"])

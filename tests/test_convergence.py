@@ -1,0 +1,86 @@
+"""Tests of the learning-curve analytics in :mod:`repro.analysis.convergence`."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    analyze,
+    converged_level,
+    episodes_to_threshold,
+    moving_average,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        vals = [1.0, 2.0, 3.0]
+        assert list(moving_average(vals, 1)) == vals
+
+    def test_trailing_semantics(self):
+        out = moving_average([0.0, 2.0, 4.0], window=2)
+        assert list(out) == [0.0, 1.0, 3.0]
+
+    def test_prefix_shorter_windows(self):
+        out = moving_average([3.0, 3.0, 3.0, 3.0], window=10)
+        assert np.allclose(out, 3.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_empty_ok(self):
+        assert len(moving_average([], 3)) == 0
+
+
+class TestConvergedLevel:
+    def test_median_of_tail(self):
+        vals = [0.0] * 75 + [10.0] * 25
+        assert converged_level(vals, tail_fraction=0.25) == 10.0
+
+    def test_robust_to_outlier(self):
+        vals = [0.0] * 10 + [5.0, 5.0, 5.0, 5.0, 100.0]
+        assert converged_level(vals, tail_fraction=0.33) == 5.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            converged_level([])
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            converged_level([1.0], tail_fraction=0.0)
+
+
+class TestEpisodesToThreshold:
+    def test_finds_crossing(self):
+        vals = list(np.linspace(0.0, 10.0, 21))
+        ep = episodes_to_threshold(vals, threshold=5.0, window=1)
+        assert ep == 10
+
+    def test_none_when_never_reached(self):
+        assert episodes_to_threshold([0.0, 1.0], threshold=5.0) is None
+
+    def test_smoothing_delays_crossing(self):
+        vals = [0.0] * 5 + [10.0] * 5
+        raw = episodes_to_threshold(vals, 9.0, window=1)
+        smooth = episodes_to_threshold(vals, 9.0, window=5)
+        assert smooth > raw
+
+
+class TestAnalyze:
+    def test_improving_curve(self):
+        vals = list(np.linspace(-100.0, -50.0, 30))
+        report = analyze(vals)
+        assert isinstance(report, ConvergenceReport)
+        assert report.improvement > 0
+        assert report.episodes_to_90pct is not None
+        assert report.final_level > report.first
+
+    def test_flat_curve_no_improvement_episode(self):
+        report = analyze([-10.0] * 20)
+        assert report.improvement == pytest.approx(0.0)
+        assert report.episodes_to_90pct is None
+
+    def test_rejects_tiny_curve(self):
+        with pytest.raises(ValueError):
+            analyze([1.0])

@@ -1,0 +1,96 @@
+"""Tests of the RL state discretisation (paper Eq. 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rl.discretize import StateDiscretizer, uniform_edges
+
+
+class TestUniformEdges:
+    def test_eq14_charge_levels(self):
+        # Eq. 14: q_min = q_1 < ... < q_N = q_max; interior edges split the
+        # window evenly.
+        edges = uniform_edges(0.4, 0.8, 4)
+        assert np.allclose(edges, [0.5, 0.6, 0.7])
+
+    def test_single_bin_no_edges(self):
+        assert len(uniform_edges(0.0, 1.0, 1)) == 0
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            uniform_edges(1.0, 1.0, 3)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            uniform_edges(0.0, 1.0, 0)
+
+
+class TestStateDiscretizer:
+    def test_shape_and_count(self):
+        d = StateDiscretizer(power_edges=(0.0,), speed_edges=(5.0,),
+                             soc_bins=4, prediction_levels=2)
+        assert d.shape == (2, 2, 4, 2)
+        assert d.num_states == 32
+
+    def test_default_state_count_tractable(self):
+        # The paper's convergence argument needs |S||A| coverable in tens of
+        # episodes; keep the default well under ~10^3 states.
+        d = StateDiscretizer()
+        assert d.num_states <= 1500
+
+    def test_state_ids_unique_across_bins(self):
+        d = StateDiscretizer(power_edges=(0.0,), speed_edges=(5.0,),
+                             soc_bins=2, prediction_levels=2)
+        seen = set()
+        for p in (-1.0, 1.0):
+            for v in (1.0, 10.0):
+                for q in (0.45, 0.75):
+                    for l in (0, 1):
+                        seen.add(d.state_of(p, v, q, l))
+        assert len(seen) == 16
+
+    def test_unravel_roundtrip(self):
+        d = StateDiscretizer()
+        s = d.state_of(5000.0, 12.0, 0.55, 1)
+        idx = d.unravel(s)
+        assert d.state_of(5000.0, 12.0, 0.55, 1) == int(
+            np.ravel_multi_index(idx, d.shape))
+
+    def test_braking_and_driving_in_different_bins(self):
+        d = StateDiscretizer()
+        assert (d.state_of(-10_000.0, 10.0, 0.6, 0)
+                != d.state_of(10_000.0, 10.0, 0.6, 0))
+
+    def test_soc_clipped_to_window(self):
+        d = StateDiscretizer(soc_min=0.4, soc_max=0.8, soc_bins=4)
+        low = d.indices(0.0, 0.0, 0.1, 0)[2]
+        high = d.indices(0.0, 0.0, 0.95, 0)[2]
+        assert low == 0
+        assert high == 3
+
+    def test_prediction_level_clipped(self):
+        d = StateDiscretizer(prediction_levels=3)
+        assert d.indices(0.0, 0.0, 0.6, 99)[3] == 2
+        assert d.indices(0.0, 0.0, 0.6, -5)[3] == 0
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            StateDiscretizer(power_edges=(5.0, 1.0))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            StateDiscretizer(soc_min=0.8, soc_max=0.4)
+
+    def test_rejects_zero_prediction_levels(self):
+        with pytest.raises(ValueError):
+            StateDiscretizer(prediction_levels=0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=0.0, max_value=60.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=10))
+    def test_every_observation_maps_to_valid_state(self, p, v, q, l):
+        d = StateDiscretizer()
+        s = d.state_of(p, v, q, l)
+        assert 0 <= s < d.num_states

@@ -1,0 +1,43 @@
+"""Tests of the driveability metrics in :mod:`repro.analysis.traces`."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traces import driveability
+from repro.control import RuleBasedController
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def result():
+    solver = PowertrainSolver(default_vehicle())
+    cycle = synthesize(CycleSpec("dv", duration=200, mean_speed_kmh=28.0,
+                                 max_speed_kmh=60.0, stop_count=3, seed=99))
+    return evaluate(Simulator(solver), RuleBasedController(solver), cycle)
+
+
+class TestDriveability:
+    def test_all_metrics_present_and_finite(self, result):
+        metrics = driveability(result)
+        assert set(metrics) == {"gear_shifts_per_km",
+                                "mode_switches_per_km",
+                                "engine_starts_per_km"}
+        assert all(np.isfinite(v) and v >= 0 for v in metrics.values())
+
+    def test_gear_shifts_happen_on_mixed_cycle(self, result):
+        assert driveability(result)["gear_shifts_per_km"] > 0.0
+
+    def test_mode_switches_at_least_engine_starts(self, result):
+        metrics = driveability(result)
+        # Every engine start implies at least one mode change.
+        assert (metrics["mode_switches_per_km"]
+                >= metrics["engine_starts_per_km"] - 1e-9)
+
+    def test_plausible_magnitudes(self, result):
+        metrics = driveability(result)
+        # A sane controller shifts a handful of times per km, not hundreds.
+        assert metrics["gear_shifts_per_km"] < 60.0
+        assert metrics["engine_starts_per_km"] < 30.0

@@ -1,0 +1,104 @@
+"""Energy-conservation property tests across the whole powertrain.
+
+First-law checks on every resolved operating point: no component may
+output more energy than it takes in, and every conversion pays its
+efficiency toll in the correct direction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.powertrain import PowertrainSolver
+from repro.vehicle import default_vehicle
+
+_SOLVER = PowertrainSolver(default_vehicle())
+
+
+class TestFirstLaw:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=-2.0, max_value=2.0),
+           st.floats(min_value=-60.0, max_value=60.0),
+           st.integers(min_value=0, max_value=4))
+    def test_engine_never_exceeds_fuel_power(self, v, a, i, gear):
+        pt = _SOLVER.evaluate(v, a, 0.6, i, gear, 600.0, dt=1.0)
+        if pt.engine_torque > 0:
+            brake_power = pt.engine_torque * pt.engine_speed
+            fuel_power = pt.fuel_rate * _SOLVER.engine.fuel_energy_density
+            assert brake_power <= fuel_power + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=-2.0, max_value=2.0),
+           st.floats(min_value=-60.0, max_value=60.0),
+           st.integers(min_value=0, max_value=4))
+    def test_motor_conversion_direction(self, v, a, i, gear):
+        pt = _SOLVER.evaluate(v, a, 0.6, i, gear, 600.0, dt=1.0)
+        mech = pt.motor_torque * pt.motor_speed
+        elec = pt.battery_power - pt.aux_power
+        if mech > 1.0:
+            # Motoring: electrical input must exceed mechanical output.
+            assert elec >= mech - 1e-6
+        elif mech < -1.0 and pt.feasible:
+            # Generating: electrical recovered must be less than mechanical
+            # absorbed.
+            assert elec >= mech - 1e-6
+            assert abs(elec) <= abs(mech) + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=0.0, max_value=1.5),
+           st.floats(min_value=-60.0, max_value=60.0),
+           st.integers(min_value=0, max_value=4))
+    def test_wheel_power_never_exceeds_sources(self, v, a, i, gear):
+        """Feasible motoring: wheel power <= engine brake power + EM
+        mechanical power (the gear train only dissipates)."""
+        pt = _SOLVER.evaluate(v, a, 0.6, i, gear, 600.0, dt=1.0)
+        if not pt.feasible or pt.wheel_torque <= 0:
+            return
+        wheel_power = pt.wheel_torque * pt.wheel_speed
+        sources = (pt.engine_torque * pt.engine_speed
+                   + max(pt.motor_torque, 0.0) * pt.motor_speed
+                   - min(pt.motor_torque, 0.0) * pt.motor_speed * 0.0)
+        # Generating EM subtracts from the shaft; it cannot help the wheels.
+        assert wheel_power <= sources + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=-3.0, max_value=-0.1),
+           st.integers(min_value=0, max_value=4))
+    def test_regen_bounded_by_braking_power(self, v, a, gear):
+        """No feasible braking point may charge the battery with more power
+        than the vehicle surrenders at the wheels."""
+        pt = _SOLVER.evaluate(v, a, 0.6, -60.0, gear, 600.0, dt=1.0)
+        if pt.wheel_torque >= 0 or not pt.feasible:
+            return
+        braking_power = -pt.wheel_torque * pt.wheel_speed
+        charging_power = max(-(pt.battery_power - pt.aux_power), 0.0)
+        assert charging_power <= braking_power + 1e-6
+
+
+class TestRoundTripLoss:
+    def test_battery_round_trip_is_lossy(self):
+        """Pushing energy into the pack and pulling it back must lose
+        energy (resistive + coulombic losses)."""
+        battery = _SOLVER.battery
+        soc = 0.6
+        i_chg = -20.0
+        p_in = -float(battery.terminal_power(i_chg, soc))  # bus energy spent
+        stored = -i_chg * battery.params.coulombic_efficiency  # Coulombs
+        # Discharge the same Coulombs.
+        i_dis = stored  # over one second
+        p_out = float(battery.terminal_power(i_dis, soc))
+        assert p_out < p_in
+
+    def test_em_round_trip_is_lossy(self):
+        motor = _SOLVER.motor
+        speed = 400.0
+        # Generate 5 kW into the bus, then motor it back out.
+        t_gen = float(motor.torque_from_electrical_power(-5000.0, speed))
+        mech_absorbed = abs(t_gen * speed)
+        t_mot = float(motor.torque_from_electrical_power(5000.0, speed))
+        mech_returned = t_mot * speed
+        assert mech_returned < mech_absorbed

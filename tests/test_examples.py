@@ -1,0 +1,77 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is executed in-process with a tiny budget (monkeypatched
+``sys.argv``) so the whole set stays fast while still exercising the real
+public-API paths the examples demonstrate.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py",
+                      "--episodes", "2", "--cycle", "SC03")
+    assert "proposed RL" in out
+    assert "rule-based" in out
+    assert "MPG improvement" in out
+
+
+def test_commute_training(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "commute_training.py",
+                      "--days", "5")
+    assert "Greedy evaluation" in out
+    assert "congestion 0.5" in out
+
+
+def test_aux_comfort_tradeoff(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "aux_comfort_tradeoff.py",
+                      "--episodes", "2")
+    assert "mean p_aux" in out
+    assert "w" in out
+
+
+def test_predictor_comparison(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "predictor_comparison.py")
+    assert "exponential (Eq. 12)" in out
+    assert "rmse" in out
+
+
+def test_custom_vehicle(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_vehicle.py",
+                      "--episodes", "2")
+    assert "SUV" in out
+    assert "rule-based" in out
+
+
+def test_generalization(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "generalization.py",
+                      "--training-trips", "3")
+    assert "unseen trip" in out
+    assert "HWFET" in out
+
+
+def test_grade_profile(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "grade_profile.py",
+                      "--episodes", "2")
+    assert "rolling hills" in out
+    assert "climb" in out
+
+
+def test_hev_vs_conventional(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "hev_vs_conventional.py",
+                      "--episodes", "2")
+    assert "conventional" in out
+    assert "regen share" in out
+    assert "hybridisation" in out

@@ -1,0 +1,93 @@
+"""Tests of the epsilon-greedy exploration policy (paper Section 4.3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.exploration import EpsilonGreedy
+
+
+class TestValidation:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(epsilon=1.5)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(decay=0.0)
+
+    def test_rejects_floor_above_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(epsilon=0.1, epsilon_min=0.2)
+
+
+class TestAnnealing:
+    def test_decay_per_episode(self):
+        e = EpsilonGreedy(epsilon=0.4, decay=0.5, epsilon_min=0.01)
+        e.new_episode()
+        assert e.epsilon == pytest.approx(0.2)
+
+    def test_floor_respected(self):
+        e = EpsilonGreedy(epsilon=0.4, decay=0.1, epsilon_min=0.05)
+        for _ in range(10):
+            e.new_episode()
+        assert e.epsilon == pytest.approx(0.05)
+
+    def test_reset_restores_initial(self):
+        e = EpsilonGreedy(epsilon=0.4, decay=0.5)
+        e.new_episode()
+        e.reset()
+        assert e.epsilon == pytest.approx(0.4)
+
+
+class TestSelection:
+    def test_greedy_mode_deterministic(self):
+        e = EpsilonGreedy(epsilon=1.0, seed=0)
+        q = np.array([1.0, 5.0, 3.0])
+        for _ in range(20):
+            assert e.select(q, greedy=True) == 1
+
+    def test_never_selects_infeasible(self):
+        e = EpsilonGreedy(epsilon=1.0, seed=0)  # maximum exploration
+        q = np.array([1.0, 5.0, 3.0])
+        feasible = np.array([True, False, True])
+        for _ in range(100):
+            assert e.select(q, feasible) != 1
+
+    def test_explores_non_best_actions(self):
+        e = EpsilonGreedy(epsilon=0.5, decay=1.0, seed=0)
+        q = np.array([1.0, 5.0, 3.0])
+        picks = {e.select(q) for _ in range(200)}
+        assert picks == {0, 1, 2}
+
+    def test_epsilon_zero_always_best(self):
+        e = EpsilonGreedy(epsilon=0.0, epsilon_min=0.0, seed=0)
+        q = np.array([1.0, 5.0, 3.0])
+        assert all(e.select(q) == 1 for _ in range(50))
+
+    def test_exploration_rate_statistical(self):
+        # Paper: best action with prob 1 - eps, others uniformly.
+        e = EpsilonGreedy(epsilon=0.3, decay=1.0, seed=1)
+        q = np.array([1.0, 5.0, 3.0])
+        picks = [e.select(q) for _ in range(4000)]
+        best_rate = picks.count(1) / len(picks)
+        assert best_rate == pytest.approx(0.7, abs=0.05)
+        # Non-best actions split the epsilon mass roughly evenly.
+        assert picks.count(0) == pytest.approx(picks.count(2), rel=0.35)
+
+    def test_all_infeasible_falls_back_to_argmax(self):
+        e = EpsilonGreedy(seed=0)
+        q = np.array([1.0, 5.0, 3.0])
+        assert e.select(q, np.zeros(3, dtype=bool)) == 1
+
+    def test_single_feasible_action(self):
+        e = EpsilonGreedy(epsilon=1.0, seed=0)
+        q = np.array([1.0, 5.0, 3.0])
+        feasible = np.array([False, False, True])
+        assert all(e.select(q, feasible) == 2 for _ in range(30))
+
+    def test_seeded_reproducibility(self):
+        q = np.array([0.0, 1.0, 2.0, 3.0])
+        a = EpsilonGreedy(epsilon=0.8, seed=9)
+        b = EpsilonGreedy(epsilon=0.8, seed=9)
+        assert [a.select(q) for _ in range(50)] == [
+            b.select(q) for _ in range(50)]

@@ -1,0 +1,67 @@
+"""Tests of the JSON result export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    FORMAT_VERSION,
+    load_result_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.control import RuleBasedController
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def result():
+    solver = PowertrainSolver(default_vehicle())
+    cycle = synthesize(CycleSpec("ex", duration=120, mean_speed_kmh=25.0,
+                                 max_speed_kmh=50.0, stop_count=2, seed=121))
+    return evaluate(Simulator(solver), RuleBasedController(solver), cycle)
+
+
+class TestResultToDict:
+    def test_aggregates_present(self, result):
+        doc = result_to_dict(result)
+        assert doc["format_version"] == FORMAT_VERSION
+        assert doc["fuel_g"] == pytest.approx(result.total_fuel)
+        assert doc["corrected_mpg"] == pytest.approx(result.corrected_mpg())
+        assert doc["steps"] == len(result.fuel_rate)
+
+    def test_no_traces_by_default(self, result):
+        assert "traces" not in result_to_dict(result)
+
+    def test_traces_on_request(self, result):
+        doc = result_to_dict(result, include_traces=True)
+        assert len(doc["traces"]["soc"]) == len(result.soc)
+        assert len(doc["traces"]["gear"]) == len(result.gear)
+
+    def test_json_serialisable(self, result):
+        text = json.dumps(result_to_dict(result, include_traces=True))
+        assert "fuel_g" in text
+
+    def test_nested_sections_present(self, result):
+        doc = result_to_dict(result)
+        assert set(doc["energy"]) >= {"fuel_energy_j", "regen_fraction"}
+        assert "gear_shifts_per_km" in doc["driveability"]
+        assert "throughput_fraction" in doc["soc"]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        doc = load_result_dict(path)
+        assert doc["cycle"] == result.cycle_name
+        assert doc["fuel_g"] == pytest.approx(result.total_fuel)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ValueError):
+            load_result_dict(path)

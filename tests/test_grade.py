@@ -1,0 +1,99 @@
+"""Tests of the road-grade synthesis in :mod:`repro.cycles.grade`."""
+
+import numpy as np
+import pytest
+
+from repro.cycles import standard_cycle
+from repro.cycles.grade import (
+    MAX_GRADE,
+    elevation_profile,
+    net_zero_terrain,
+    rolling_hills,
+)
+from repro.control import RuleBasedController
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def cycle():
+    return standard_cycle("SC03")
+
+
+class TestRollingHills:
+    def test_speeds_unchanged(self, cycle):
+        hilly = rolling_hills(cycle)
+        assert np.array_equal(hilly.speeds, cycle.speeds)
+
+    def test_amplitude_respected(self, cycle):
+        hilly = rolling_hills(cycle, amplitude=0.04)
+        assert np.max(np.abs(hilly.grades)) <= 0.04 + 1e-12
+
+    def test_grade_constant_while_idle(self, cycle):
+        hilly = rolling_hills(cycle)
+        idle = cycle.speeds <= 1e-9
+        # Consecutive idle samples share a position, hence a grade.
+        idx = np.nonzero(idle[:-1] & idle[1:])[0]
+        assert len(idx) > 0
+        assert np.allclose(hilly.grades[idx], hilly.grades[idx + 1])
+
+    def test_rejects_excessive_amplitude(self, cycle):
+        with pytest.raises(ValueError):
+            rolling_hills(cycle, amplitude=MAX_GRADE + 0.01)
+
+    def test_rejects_bad_wavelength(self, cycle):
+        with pytest.raises(ValueError):
+            rolling_hills(cycle, wavelength=0.0)
+
+    def test_wavelength_in_distance(self, cycle):
+        hilly = rolling_hills(cycle, amplitude=0.03, wavelength=500.0)
+        elev = elevation_profile(hilly)
+        # Peak-to-peak elevation of a 500 m sine at 0.03 rad is ~4.8 m;
+        # allow generous tolerance for sampling.
+        assert 1.0 < np.max(elev) - np.min(elev) < 15.0
+
+
+class TestNetZeroTerrain:
+    def test_elevation_closes(self, cycle):
+        terrain = net_zero_terrain(cycle, seed=4)
+        elev = elevation_profile(terrain)
+        span = np.max(elev) - np.min(elev)
+        assert abs(elev[-1]) < max(0.15 * span, 0.5)
+
+    def test_grades_bounded(self, cycle):
+        terrain = net_zero_terrain(cycle, roughness=0.05, seed=4)
+        assert np.max(np.abs(terrain.grades)) <= MAX_GRADE + 1e-12
+
+    def test_deterministic(self, cycle):
+        a = net_zero_terrain(cycle, seed=9)
+        b = net_zero_terrain(cycle, seed=9)
+        assert np.array_equal(a.grades, b.grades)
+
+    def test_different_seeds_differ(self, cycle):
+        a = net_zero_terrain(cycle, seed=1)
+        b = net_zero_terrain(cycle, seed=2)
+        assert not np.array_equal(a.grades, b.grades)
+
+    def test_rejects_bad_roughness(self, cycle):
+        with pytest.raises(ValueError):
+            net_zero_terrain(cycle, roughness=0.0)
+
+
+class TestGradeThroughSimulation:
+    def test_hills_cost_fuel(self, cycle):
+        # Driving the same speed trace over hills must burn more fuel than
+        # flat ground (grade work is lost to the grade ledger + losses).
+        solver = PowertrainSolver(default_vehicle())
+        sim = Simulator(solver)
+        flat = evaluate(sim, RuleBasedController(solver), cycle)
+        hilly = evaluate(sim, RuleBasedController(solver),
+                         rolling_hills(cycle, amplitude=0.05))
+        assert hilly.corrected_fuel() > flat.corrected_fuel() * 1.02
+
+    def test_power_demand_reflects_grade(self, cycle):
+        solver = PowertrainSolver(default_vehicle())
+        uphill = float(solver.dynamics.power_demand(15.0, 0.0, 0.05))
+        flat = float(solver.dynamics.power_demand(15.0, 0.0, 0.0))
+        downhill = float(solver.dynamics.power_demand(15.0, 0.0, -0.05))
+        assert uphill > flat > downhill

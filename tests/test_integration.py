@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the full stack on small budgets.
+
+These are scaled-down versions of the benchmark experiments — small cycles
+and few episodes — asserting the qualitative relationships the paper's
+evaluation rests on, cheap enough for the regular test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quick_agent
+from repro.control import ECMSController, RuleBasedController
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import OperatingMode, PowertrainSolver
+from repro.sim import Simulator, evaluate, train
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def city_cycle():
+    return synthesize(CycleSpec("city", duration=240, mean_speed_kmh=26.0,
+                                max_speed_kmh=55.0, stop_count=4,
+                                seed=21)).repeat(2)
+
+
+@pytest.fixture(scope="module")
+def trained(city_cycle):
+    controller, simulator = quick_agent(seed=3)
+    run = train(simulator, controller, city_cycle, episodes=40)
+    return controller, simulator, run
+
+
+class TestTrainedAgentBehaviour:
+    def test_soc_stays_in_window(self, trained, city_cycle):
+        _, _, run = trained
+        res = run.evaluation
+        p = default_vehicle().battery
+        assert np.all(res.soc >= p.soc_min - 0.02)
+        assert np.all(res.soc <= p.soc_max + 0.02)
+
+    def test_regen_happens_during_braking(self, trained):
+        _, _, run = trained
+        res = run.evaluation
+        braking = res.power_demand < -2000.0
+        assert np.any(braking)
+        # Most hard-braking steps should charge the battery.
+        charging = res.current[braking] < 0.0
+        assert np.mean(charging) > 0.5
+
+    def test_multiple_modes_used(self, trained):
+        _, _, run = trained
+        modes = set(run.evaluation.mode.tolist())
+        assert int(OperatingMode.REGEN) in modes
+        assert len(modes) >= 3
+
+    def test_aux_power_reasonable(self, trained):
+        _, _, run = trained
+        solver_params = default_vehicle().auxiliary
+        res = run.evaluation
+        assert solver_params.min_power - 1 <= res.mean_aux_power
+        assert res.mean_aux_power <= solver_params.max_power + 1
+
+    def test_no_pathological_fallbacks(self, trained):
+        _, _, run = trained
+        assert run.evaluation.fallback_steps <= 0.02 * len(
+            run.evaluation.fuel_rate)
+
+    def test_training_reward_trend_improves(self, trained):
+        _, _, run = trained
+        curve = run.learning_curve
+        early = np.mean(curve[:5])
+        late = np.mean(curve[-5:])
+        assert late >= early  # learning must not make things worse
+
+
+class TestControllerOrdering:
+    """The qualitative ordering the paper's evaluation depends on."""
+
+    def test_rl_beats_rule_based_on_reward(self, trained, city_cycle):
+        _, simulator, run = trained
+        rule = evaluate(simulator, RuleBasedController(simulator.solver),
+                        city_cycle)
+        # On its training cycle, the trained joint controller must achieve
+        # at least the rule-based cumulative learning reward.
+        assert run.evaluation.total_reward >= rule.total_reward - 5.0
+
+    def test_ecms_charge_sustaining(self, trained, city_cycle):
+        _, simulator, _ = trained
+        res = evaluate(simulator, ECMSController(simulator.solver),
+                       city_cycle)
+        assert abs(res.final_soc - 0.60) < 0.10
+
+    def test_fuel_energy_accounting_sane(self, trained):
+        _, _, run = trained
+        res = run.evaluation
+        # Fuel energy burned must exceed the net mechanical work done at
+        # the wheels (conservation with losses).
+        fuel_energy = res.total_fuel * 42_500.0
+        positive_work = float(np.sum(np.maximum(res.power_demand, 0.0)))
+        battery_energy = (res.initial_soc - res.final_soc) * \
+            res.battery_capacity * res.nominal_voltage
+        assert fuel_energy + max(battery_energy, 0.0) > 0.2 * positive_work
+
+
+class TestPredictionEffect:
+    def test_prediction_state_dimension_active(self):
+        # The proposed agent must actually populate different prediction
+        # levels while driving (otherwise Fig. 2 is vacuous).
+        controller, simulator = quick_agent(seed=5)
+        cycle = synthesize(CycleSpec("mix", duration=200,
+                                     mean_speed_kmh=30.0,
+                                     max_speed_kmh=70.0, stop_count=3,
+                                     seed=9))
+        agent = controller.agent
+        levels = set()
+        agent.begin_episode()
+        soc = 0.6
+        for v, a, g in cycle.steps():
+            step = agent.act(v, a, soc, 1.0, g, learn=True)
+            soc = step.soc_next
+            levels.add(agent.quantizer(agent.predictor.predict()))
+        assert len(levels) >= 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_training(self, city_cycle):
+        results = []
+        for _ in range(2):
+            controller, simulator = quick_agent(seed=17)
+            run = train(simulator, controller, city_cycle, episodes=4)
+            results.append(run.evaluation.total_fuel)
+        assert results[0] == pytest.approx(results[1], abs=1e-9)
+
+    def test_different_seed_different_exploration(self, city_cycle):
+        fuels = []
+        for seed in (1, 2):
+            controller, simulator = quick_agent(seed=seed)
+            run = train(simulator, controller, city_cycle, episodes=3)
+            fuels.append(tuple(e.total_fuel for e in run.episodes))
+        assert fuels[0] != fuels[1]

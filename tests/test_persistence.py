@@ -1,0 +1,82 @@
+"""Tests of policy save/load in :mod:`repro.rl.persistence`."""
+
+import numpy as np
+import pytest
+
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import PowertrainSolver
+from repro.rl.persistence import load_policy, save_policy
+from repro.sim import Simulator, evaluate, train
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def cycle():
+    return synthesize(CycleSpec("p", duration=120, mean_speed_kmh=25.0,
+                                max_speed_kmh=50.0, stop_count=2, seed=41))
+
+
+@pytest.fixture(scope="module")
+def trained_agent(cycle):
+    solver = PowertrainSolver(default_vehicle())
+    controller = build_rl_controller(solver, seed=2)
+    train(Simulator(solver), controller, cycle, episodes=5,
+          evaluate_after=False)
+    return controller.agent
+
+
+class TestRoundTrip:
+    def test_qtable_restored_exactly(self, trained_agent, tmp_path):
+        save_policy(trained_agent, tmp_path / "policy")
+        solver = PowertrainSolver(default_vehicle())
+        fresh = build_rl_controller(solver, seed=99).agent
+        load_policy(fresh, tmp_path / "policy")
+        assert np.array_equal(fresh.learner.qtable.values,
+                              trained_agent.learner.qtable.values)
+
+    def test_loaded_policy_reproduces_behaviour(self, trained_agent, cycle,
+                                                tmp_path):
+        save_policy(trained_agent, tmp_path / "policy")
+        solver = PowertrainSolver(default_vehicle())
+        fresh_ctrl = build_rl_controller(solver, seed=99)
+        load_policy(fresh_ctrl.agent, tmp_path / "policy")
+
+        sim = Simulator(solver)
+        a = evaluate(sim, fresh_ctrl, cycle)
+
+        solver2 = PowertrainSolver(default_vehicle())
+        sim2 = Simulator(solver2)
+        from repro.control.rl_controller import RLController
+        b = evaluate(sim2, RLController(trained_agent), cycle)
+        assert a.total_fuel == pytest.approx(b.total_fuel)
+        assert np.array_equal(a.gear, b.gear)
+
+    def test_two_files_written(self, trained_agent, tmp_path):
+        save_policy(trained_agent, tmp_path / "pol")
+        assert (tmp_path / "pol.npz").exists()
+        assert (tmp_path / "pol.json").exists()
+
+
+class TestCompatibilityGuard:
+    def test_rejects_different_variant(self, trained_agent, tmp_path):
+        save_policy(trained_agent, tmp_path / "policy")
+        solver = PowertrainSolver(default_vehicle())
+        other = build_rl_controller(solver, variant="baseline13").agent
+        with pytest.raises(ValueError, match="incompatible"):
+            load_policy(other, tmp_path / "policy")
+
+    def test_rejects_different_action_levels(self, trained_agent, tmp_path):
+        from repro.rl.agent import ActionSpaceConfig
+        save_policy(trained_agent, tmp_path / "policy")
+        solver = PowertrainSolver(default_vehicle())
+        other = build_rl_controller(
+            solver,
+            action_config=ActionSpaceConfig(
+                current_levels=(-50.0, 0.0, 50.0))).agent
+        with pytest.raises(ValueError, match="incompatible"):
+            load_policy(other, tmp_path / "policy")
+
+    def test_missing_file_raises(self, trained_agent, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_policy(trained_agent, tmp_path / "nothing")

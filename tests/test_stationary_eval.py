@@ -1,0 +1,55 @@
+"""Tests of the stationary-SoC evaluation helper."""
+
+import pytest
+
+from repro.control import RuleBasedController, ThermostatController
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate, evaluate_stationary
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return PowertrainSolver(default_vehicle())
+
+
+@pytest.fixture(scope="module")
+def cycle():
+    return synthesize(CycleSpec("st", duration=150, mean_speed_kmh=26.0,
+                                max_speed_kmh=52.0, stop_count=2, seed=81))
+
+
+class TestEvaluateStationary:
+    def test_reported_drive_is_charge_neutralish(self, solver, cycle):
+        result = evaluate_stationary(Simulator(solver),
+                                     RuleBasedController(solver), cycle)
+        # Starting at the settled SoC, the drive should end near where it
+        # started (within the controller's per-cycle ripple).
+        assert abs(result.final_soc - result.initial_soc) < 0.05
+
+    def test_initial_soc_is_settled_not_nominal(self, solver, cycle):
+        sim = Simulator(solver)
+        ctrl = RuleBasedController(solver)
+        plain = evaluate(sim, ctrl, cycle, initial_soc=0.60)
+        stationary = evaluate_stationary(sim, ctrl, cycle, initial_soc=0.60)
+        assert stationary.initial_soc == pytest.approx(plain.final_soc)
+
+    def test_multiple_settle_passes(self, solver, cycle):
+        result = evaluate_stationary(Simulator(solver),
+                                     ThermostatController(solver), cycle,
+                                     settle_passes=2)
+        assert abs(result.final_soc - result.initial_soc) < 0.06
+
+    def test_rejects_zero_passes(self, solver, cycle):
+        with pytest.raises(ValueError):
+            evaluate_stationary(Simulator(solver),
+                                RuleBasedController(solver), cycle,
+                                settle_passes=0)
+
+    def test_deterministic(self, solver, cycle):
+        sim = Simulator(solver)
+        ctrl = RuleBasedController(solver)
+        a = evaluate_stationary(sim, ctrl, cycle)
+        b = evaluate_stationary(sim, ctrl, cycle)
+        assert a.total_fuel == pytest.approx(b.total_fuel)

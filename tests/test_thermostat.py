@@ -1,0 +1,101 @@
+"""Tests of the thermostat (bang-bang) baseline controller."""
+
+import numpy as np
+import pytest
+
+from repro.control import RuleBasedController, ThermostatConfig, ThermostatController
+from repro.cycles import CycleSpec, synthesize
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, evaluate
+from repro.vehicle import default_vehicle
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return PowertrainSolver(default_vehicle())
+
+
+@pytest.fixture(scope="module")
+def cycle():
+    return synthesize(CycleSpec("th", duration=200, mean_speed_kmh=27.0,
+                                max_speed_kmh=55.0, stop_count=3,
+                                seed=51)).repeat(2)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ThermostatConfig()
+
+    def test_rejects_out_of_order_thresholds(self):
+        with pytest.raises(ValueError):
+            ThermostatConfig(soc_low=0.7, soc_high=0.5)
+
+    def test_rejects_positive_charge_current(self):
+        with pytest.raises(ValueError):
+            ThermostatConfig(charge_current=10.0)
+
+
+class TestHysteresis:
+    def test_turns_on_below_low(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl.begin_episode()
+        ctrl._update_thermostat(0.45)
+        assert ctrl._charging
+
+    def test_stays_on_until_high(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl.begin_episode()
+        ctrl._update_thermostat(0.45)
+        ctrl._update_thermostat(0.60)  # between thresholds: stay on
+        assert ctrl._charging
+        ctrl._update_thermostat(0.71)
+        assert not ctrl._charging
+
+    def test_stays_off_until_low(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl.begin_episode()
+        ctrl._update_thermostat(0.60)
+        assert not ctrl._charging
+
+    def test_begin_episode_resets(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl._charging = True
+        ctrl.begin_episode()
+        assert not ctrl._charging
+
+
+class TestBehaviour:
+    def test_episode_runs_clean(self, solver, cycle):
+        result = evaluate(Simulator(solver), ThermostatController(solver),
+                          cycle)
+        assert result.total_fuel > 0
+        assert result.fallback_steps <= 3
+        p = solver.params.battery
+        assert np.all(result.soc >= p.soc_min - 0.02)
+
+    def test_regen_during_braking(self, solver, cycle):
+        result = evaluate(Simulator(solver), ThermostatController(solver),
+                          cycle)
+        braking = result.power_demand < -2000.0
+        assert np.mean(result.current[braking] < 0.0) > 0.5
+
+    def test_charges_when_low(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl.begin_episode()
+        step = ctrl.act(15.0, 0.1, 0.45, dt=1.0)
+        assert step.current < 0.0
+
+    def test_ev_mode_when_high_soc_low_demand(self, solver):
+        ctrl = ThermostatController(solver)
+        ctrl.begin_episode()
+        step = ctrl.act(8.0, 0.2, 0.75, dt=1.0)
+        assert step.current > 0.0
+        assert step.fuel_rate == 0.0
+
+    def test_tuned_rules_beat_thermostat(self, solver, cycle):
+        # The tuned rule-based baseline should not lose to bang-bang on the
+        # joint learning reward (sanity anchor for the baseline ladder).
+        sim = Simulator(solver)
+        thermo = evaluate(sim, ThermostatController(solver), cycle)
+        rules = evaluate(sim, RuleBasedController(solver), cycle)
+        assert rules.total_reward >= thermo.total_reward - 10.0

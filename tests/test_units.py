@@ -1,0 +1,74 @@
+"""Unit-conversion and constant tests for :mod:`repro.units`."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestSpeedConversions:
+    def test_kmh_roundtrip(self):
+        assert units.ms_to_kmh(units.kmh_to_ms(50.0)) == pytest.approx(50.0)
+
+    def test_mph_roundtrip(self):
+        assert units.ms_to_mph(units.mph_to_ms(60.0)) == pytest.approx(60.0)
+
+    def test_100kmh_is_2778ms(self):
+        assert units.kmh_to_ms(100.0) == pytest.approx(27.7778, rel=1e-4)
+
+    def test_60mph_is_2682ms(self):
+        assert units.mph_to_ms(60.0) == pytest.approx(26.8224, rel=1e-4)
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    def test_kmh_conversion_monotone(self, v):
+        assert units.kmh_to_ms(v) <= units.kmh_to_ms(v + 1.0)
+
+
+class TestRotationalConversions:
+    def test_rpm_roundtrip(self):
+        assert units.rads_to_rpm(units.rpm_to_rads(3000.0)) == pytest.approx(3000.0)
+
+    def test_1000rpm(self):
+        assert units.rpm_to_rads(1000.0) == pytest.approx(104.72, rel=1e-3)
+
+
+class TestFuelConversions:
+    def test_gallon_of_gasoline_mass(self):
+        # One gallon = 3.785 L at 0.745 kg/L = ~2820 g.
+        grams = units.GASOLINE_DENSITY * 1000.0 * units.GALLON_IN_LITERS
+        assert units.grams_to_gallons(grams) == pytest.approx(1.0)
+
+    def test_mpg_known_value(self):
+        # 10 miles on one gallon.
+        one_gallon_g = units.GASOLINE_DENSITY * 1000.0 * units.GALLON_IN_LITERS
+        assert units.mpg(10 * units.MILE_IN_METERS,
+                         one_gallon_g) == pytest.approx(10.0)
+
+    def test_mpg_zero_fuel_is_infinite(self):
+        assert math.isinf(units.mpg(1000.0, 0.0))
+
+    def test_liters_per_100km_known_value(self):
+        # 7.45 kg of fuel (10 L) over 100 km -> 10 L/100km.
+        assert units.liters_per_100km(100_000.0, 7450.0) == pytest.approx(10.0)
+
+    def test_liters_per_100km_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            units.liters_per_100km(0.0, 100.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e6),
+           st.floats(min_value=1.0, max_value=1e5))
+    def test_mpg_positive(self, dist, fuel):
+        assert units.mpg(dist, fuel) > 0.0
+
+    @given(st.floats(min_value=100.0, max_value=1e6),
+           st.floats(min_value=1.0, max_value=1e5))
+    def test_mpg_and_l_per_100km_inverse_ordering(self, dist, fuel):
+        # Higher MPG must mean lower L/100km for the same trip.
+        mpg1 = units.mpg(dist, fuel)
+        mpg2 = units.mpg(dist, fuel * 2.0)
+        l1 = units.liters_per_100km(dist, fuel)
+        l2 = units.liters_per_100km(dist, fuel * 2.0)
+        assert mpg2 < mpg1
+        assert l2 > l1

@@ -1,0 +1,155 @@
+"""Validation tests for the parameter dataclasses in :mod:`repro.vehicle.params`."""
+
+import pytest
+
+from repro.vehicle.params import (
+    AuxiliaryParams,
+    BatteryParams,
+    BodyParams,
+    EngineParams,
+    MotorParams,
+    TransmissionParams,
+    VehicleParams,
+    default_vehicle,
+)
+
+
+class TestBodyParams:
+    def test_defaults_valid(self):
+        BodyParams()
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ValueError):
+            BodyParams(mass=0.0)
+
+    def test_rejects_negative_drag(self):
+        with pytest.raises(ValueError):
+            BodyParams(drag_coefficient=-0.1)
+
+    def test_rejects_zero_wheel_radius(self):
+        with pytest.raises(ValueError):
+            BodyParams(wheel_radius=0.0)
+
+    def test_rejects_rolling_resistance_above_one(self):
+        with pytest.raises(ValueError):
+            BodyParams(rolling_resistance=1.5)
+
+
+class TestEngineParams:
+    def test_defaults_valid(self):
+        EngineParams()
+
+    def test_rejects_reversed_speed_band(self):
+        with pytest.raises(ValueError):
+            EngineParams(min_speed=500.0, max_speed=400.0)
+
+    def test_rejects_peak_torque_speed_outside_band(self):
+        with pytest.raises(ValueError):
+            EngineParams(peak_torque_speed=50.0)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(ValueError):
+            EngineParams(peak_efficiency=1.2)
+
+    def test_rejects_floor_above_peak(self):
+        with pytest.raises(ValueError):
+            EngineParams(peak_efficiency=0.3, efficiency_floor=0.4)
+
+    def test_rejects_negative_idle_fuel(self):
+        with pytest.raises(ValueError):
+            EngineParams(idle_fuel_rate=-0.1)
+
+
+class TestMotorParams:
+    def test_defaults_valid(self):
+        MotorParams()
+
+    def test_default_speed_covers_geared_engine_max(self):
+        # The EM is permanently geared to the crankshaft; its envelope must
+        # cover rho_reg * engine max speed or high gears become unusable.
+        motor = MotorParams()
+        engine = EngineParams()
+        trans = TransmissionParams()
+        assert motor.max_speed >= trans.reduction_ratio * engine.max_speed
+
+    def test_rejects_base_speed_above_max(self):
+        with pytest.raises(ValueError):
+            MotorParams(base_speed=2000.0, max_speed=1000.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            MotorParams(max_power=0.0)
+
+
+class TestBatteryParams:
+    def test_defaults_valid(self):
+        BatteryParams()
+
+    def test_default_window_matches_paper(self):
+        # Section 4.3.1: q_min/q_max are 40% and 80% of nominal capacity.
+        p = BatteryParams()
+        assert p.soc_min == pytest.approx(0.40)
+        assert p.soc_max == pytest.approx(0.80)
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValueError):
+            BatteryParams(soc_min=0.8, soc_max=0.4)
+
+    def test_rejects_decreasing_ocv(self):
+        with pytest.raises(ValueError):
+            BatteryParams(voltage_at_empty=300.0, voltage_at_full=250.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            BatteryParams(discharge_resistance=0.0)
+
+    def test_rejects_coulombic_efficiency_above_one(self):
+        with pytest.raises(ValueError):
+            BatteryParams(coulombic_efficiency=1.1)
+
+
+class TestTransmissionParams:
+    def test_defaults_valid(self):
+        p = TransmissionParams()
+        assert p.num_gears == 5
+
+    def test_rejects_single_gear(self):
+        with pytest.raises(ValueError):
+            TransmissionParams(gear_ratios=(3.0,))
+
+    def test_rejects_unsorted_ratios(self):
+        with pytest.raises(ValueError):
+            TransmissionParams(gear_ratios=(3.0, 5.0, 2.0))
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(ValueError):
+            TransmissionParams(gear_ratios=(5.0, -1.0))
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(ValueError):
+            TransmissionParams(gearbox_efficiency=1.2)
+
+
+class TestAuxiliaryParams:
+    def test_defaults_valid(self):
+        p = AuxiliaryParams()
+        assert p.preferred_power == pytest.approx(600.0)
+
+    def test_rejects_out_of_order_levels(self):
+        with pytest.raises(ValueError):
+            AuxiliaryParams(min_power=700.0, preferred_power=600.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            AuxiliaryParams(utility_width=0.0)
+
+
+class TestDefaultVehicle:
+    def test_returns_complete_set(self):
+        v = default_vehicle()
+        assert isinstance(v, VehicleParams)
+        assert v.body.mass > 0
+        assert v.engine.max_power > v.motor.max_power * 0.5
+
+    def test_instances_independent(self):
+        assert default_vehicle() == default_vehicle()

@@ -1,0 +1,74 @@
+"""Tests of the velocity-based predictor (the paper's rejected alternative)."""
+
+import pytest
+
+from repro.prediction import VelocityPredictor
+from repro.rl.agent import JointControlAgent
+from repro.rl.exploration import EpsilonGreedy
+from repro.powertrain import PowertrainSolver
+from repro.vehicle import default_vehicle
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.params import BodyParams
+
+
+@pytest.fixture
+def dynamics():
+    return VehicleDynamics(BodyParams())
+
+
+class TestVelocityPredictor:
+    def test_initial_prediction_zero(self, dynamics):
+        p = VelocityPredictor(dynamics)
+        assert p.predict() == pytest.approx(0.0)
+
+    def test_converges_to_cruise_load(self, dynamics):
+        p = VelocityPredictor(dynamics)
+        for _ in range(100):
+            p.update_velocity(20.0)
+        expected = float(dynamics.power_demand(20.0, 0.0))
+        assert p.predict() == pytest.approx(expected, rel=1e-3)
+
+    def test_transients_invisible(self, dynamics):
+        # The paper's point: a velocity average cannot express the demand
+        # spike of an acceleration at constant-ish speed.
+        p = VelocityPredictor(dynamics)
+        for _ in range(100):
+            p.update_velocity(15.0)
+        steady = p.predict()
+        accel_demand = float(dynamics.power_demand(15.0, 1.5))
+        assert steady < 0.5 * accel_demand
+
+    def test_update_shim_ignores_power(self, dynamics):
+        p = VelocityPredictor(dynamics)
+        p.update(50_000.0)  # must be a no-op
+        assert p.predict() == pytest.approx(0.0)
+
+    def test_reset(self, dynamics):
+        p = VelocityPredictor(dynamics)
+        p.update_velocity(20.0)
+        p.reset()
+        assert p.predict() == pytest.approx(0.0)
+
+    def test_rejects_negative_speed(self, dynamics):
+        p = VelocityPredictor(dynamics)
+        with pytest.raises(ValueError):
+            p.update_velocity(-1.0)
+
+    def test_rejects_bad_alpha(self, dynamics):
+        with pytest.raises(ValueError):
+            VelocityPredictor(dynamics, learning_rate=0.0)
+
+
+class TestAgentIntegration:
+    def test_agent_feeds_velocity_channel(self):
+        solver = PowertrainSolver(default_vehicle())
+        predictor = VelocityPredictor(solver.dynamics)
+        agent = JointControlAgent(solver, predictor=predictor,
+                                  exploration=EpsilonGreedy(seed=0), seed=0)
+        agent.begin_episode()
+        for _ in range(30):
+            agent.act(18.0, 0.1, 0.6, dt=1.0, learn=False, greedy=True)
+        # After many steps at 18 m/s the prediction approaches that cruise
+        # load rather than staying at zero.
+        expected = float(solver.dynamics.power_demand(18.0, 0.0))
+        assert predictor.predict() == pytest.approx(expected, rel=0.05)
