@@ -1,17 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the everyday workflows:
+Five subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
 * ``train``    — train the joint RL controller on a cycle and optionally
   save the learned policy.
 * ``evaluate`` — drive a cycle under a chosen controller (optionally a
-  saved policy) and print the result summary plus energy accounting.
+  saved policy, optionally with an injected fault scenario) and print the
+  result summary plus energy accounting.
 * ``compare``  — train the RL controller and print the proposed-vs-baseline
   table for one cycle.
+* ``faults``   — list the built-in fault scenarios for degraded-mode runs.
 
-Invoke as ``python -m repro <subcommand> ...``.
+Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
+(:class:`repro.errors.ReproError`) are reported as a one-line message on
+stderr with exit code 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ from repro.control import (
 )
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import STANDARD_SPECS, compute_stats, save_csv, standard_cycle
+from repro.errors import ReproError
+from repro.faults import FaultHarness, builtin_scenarios, get_scenario
 from repro.powertrain import PowertrainSolver
 from repro.rl.persistence import load_policy, save_policy
 from repro.sim import Simulator, evaluate, evaluate_stationary, train
@@ -74,6 +80,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--policy", metavar="STEM",
                         help="saved policy stem (for --controller rl)")
     p_eval.add_argument("--seed", type=int, default=42)
+    p_eval.add_argument("--faults", metavar="SCENARIO",
+                        help="drive in degraded mode: a built-in fault "
+                             "scenario name (see 'repro faults list') or a "
+                             "scenario JSON path")
+
+    p_faults = sub.add_parser("faults", help="fault-injection scenarios")
+    p_faults.add_argument("action", choices=["list"],
+                          help="'list' prints the built-in scenarios")
 
     p_cmp = sub.add_parser("compare",
                            help="train RL and compare against baselines")
@@ -131,8 +145,20 @@ def _cmd_evaluate(args) -> int:
     else:
         controller = _BASELINES[args.controller](solver)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
-    result = evaluate(simulator, controller, cycle)
+    harness = None
+    if args.faults is not None:
+        scenario = get_scenario(args.faults)
+        harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
+        print(f"injecting fault scenario '{scenario.name}': "
+              f"{scenario.description}")
+    result = evaluate(simulator, controller, cycle, faults=harness)
     print(result.summary())
+    if harness is not None:
+        battery = solver.params.battery
+        print(f"  degraded mode: {result.faulted_steps} faulted steps, "
+              f"{harness.activations} activation(s), "
+              f"{result.window_violation_steps(battery.soc_min, battery.soc_max)}"
+              " SoC-window violations")
     battery = solver.params.battery
     print("  " + soc_strip(result.soc, battery.soc_min, battery.soc_max))
     account = energy_account(result)
@@ -164,16 +190,40 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    scenarios = builtin_scenarios()
+    print(f"{'name':15s} {'faults':>6s}  description")
+    for name in sorted(scenarios):
+        scenario = scenarios[name]
+        print(f"{name:15s} {len(scenario.schedule):6d}  "
+              f"{scenario.description}")
+        for entry in scenario.schedule:
+            window = (f"t={entry.start:g}s"
+                      + (f"-{entry.end:g}s" if entry.end is not None else "+")
+                      + (f", ramp {entry.ramp:g}s" if entry.ramp else ""))
+            print(f"{'':23s}- {entry.fault.describe()} ({window})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Structured library errors are reported as a single clean line on
+    stderr (exit code 2); genuine bugs still traceback.
+    """
     args = _build_parser().parse_args(argv)
     handlers = {
         "cycles": _cmd_cycles,
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
+        "faults": _cmd_faults,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import CycleError
+
 
 class DriveCycle:
     """A uniformly sampled drive cycle (speed in m/s, grade in radians)."""
@@ -19,17 +21,17 @@ class DriveCycle:
                  grades: Optional[np.ndarray] = None):
         speeds = np.asarray(speeds, dtype=float)
         if speeds.ndim != 1 or len(speeds) < 2:
-            raise ValueError("a drive cycle needs a 1-D trace of >= 2 samples")
+            raise CycleError("a drive cycle needs a 1-D trace of >= 2 samples")
         if np.any(speeds < 0):
-            raise ValueError("speeds cannot be negative")
+            raise CycleError("speeds cannot be negative")
         if dt <= 0:
-            raise ValueError("sample period must be positive")
+            raise CycleError("sample period must be positive")
         if grades is None:
             grades = np.zeros_like(speeds)
         else:
             grades = np.asarray(grades, dtype=float)
             if grades.shape != speeds.shape:
-                raise ValueError("grade trace must match the speed trace shape")
+                raise CycleError("grade trace must match the speed trace shape")
         self.name = name
         self.dt = float(dt)
         self.speeds = speeds
@@ -97,7 +99,7 @@ class DriveCycle:
         which every synthesised standard cycle does.
         """
         if count < 1:
-            raise ValueError("repeat count must be >= 1")
+            raise CycleError("repeat count must be >= 1")
         speeds = np.concatenate([self.speeds] + [self.speeds[1:]] * (count - 1))
         grades = np.concatenate([self.grades] + [self.grades[1:]] * (count - 1))
         return DriveCycle(f"{self.name}x{count}", speeds, self.dt, grades)
@@ -105,7 +107,7 @@ class DriveCycle:
     def slice(self, start: int, stop: int) -> "DriveCycle":
         """Extract the sub-cycle covering samples ``[start, stop)``."""
         if stop - start < 2:
-            raise ValueError("a slice must keep at least two samples")
+            raise CycleError("a slice must keep at least two samples")
         return DriveCycle(f"{self.name}[{start}:{stop}]",
                           self.speeds[start:stop], self.dt,
                           self.grades[start:stop])
@@ -116,7 +118,7 @@ class DriveCycle:
         Useful for intensity sweeps; accelerations scale by the same factor.
         """
         if factor < 0:
-            raise ValueError("scale factor cannot be negative")
+            raise CycleError("scale factor cannot be negative")
         return DriveCycle(f"{self.name}*{factor:g}", self.speeds * factor,
                           self.dt, self.grades)
 

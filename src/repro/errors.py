@@ -1,0 +1,57 @@
+"""Structured exception hierarchy for the public API surface.
+
+Every error the library raises at an API boundary derives from
+:class:`ReproError`, so callers (the CLI, the robustness harness, batch
+sweeps) can catch one base class and report a clean message instead of a
+traceback.  Classes that replace historical ad-hoc ``ValueError`` raises
+also inherit :class:`ValueError`, so ``except ValueError`` call sites keep
+working through the migration.
+
+The ``scripts/check_no_bare_raise.py`` lint pins the migration: modules
+declared as API boundaries there may only raise classes from this module.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An argument, parameter set, or configuration is invalid.
+
+    Raised at construction/call time, before any simulation work happens
+    (mis-shaped action batches, non-positive time steps, out-of-range
+    fractions, empty batches, ...).
+    """
+
+
+class InfeasibleActionError(ReproError, ValueError):
+    """A commanded action cannot be executed even by the fallback machinery.
+
+    The solver normally *reports* infeasibility instead of raising; this
+    error marks the rare configurations with no executable action at all
+    (e.g. an auxiliary power cap below the safety-critical floor).
+    """
+
+
+class CycleError(ReproError, ValueError):
+    """A drive cycle is malformed (bad trace shape, negative speeds,
+    non-positive sample period, unreadable cycle file)."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A policy or training checkpoint cannot be saved, loaded, or resumed
+    (missing files, fingerprint mismatch, incompatible table shapes)."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """The numerical watchdog tripped: a simulated quantity went
+    non-finite (NaN/Inf), which would silently poison every downstream
+    trace and Q-value if allowed to propagate."""
+
+
+class FaultScenarioError(ReproError, ValueError):
+    """A fault scenario is malformed (unknown fault kind, bad schedule
+    bounds, unparseable scenario JSON)."""

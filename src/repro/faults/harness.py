@@ -1,0 +1,176 @@
+"""Binding a fault schedule to a live powertrain solver.
+
+The controller's solver *is* the plant in this codebase: baselines rank
+candidate actions through it and the RL agent resolves its action batch
+through it, while the simulator Coulomb-counts the executed current on the
+same object.  The harness therefore injects plant faults by mutating the
+shared solver **in place** (rebuilding its component models from degraded
+parameters), so both the controller and the simulator experience the
+degraded vehicle through the interfaces they already use — no physics
+code changes, no special-cased controllers.
+
+Signal faults never touch the solver; the simulator routes observations
+through :meth:`FaultHarness.observe_speed` / :meth:`~FaultHarness.observe_soc`
+and adds :meth:`~FaultHarness.extra_aux_power` to the executed bus load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultScenarioError
+from repro.faults.models import (
+    AuxLoadSpike,
+    PlantFault,
+    SensorFault,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.powertrain.solver import PowertrainSolver
+from repro.vehicle.engine import Engine
+
+
+class FaultHarness:
+    """Applies a :class:`FaultSchedule` to a solver as time advances."""
+
+    def __init__(self, solver: PowertrainSolver, schedule: FaultSchedule,
+                 seed: int = 0):
+        self._solver = solver
+        self._schedule = schedule
+        self._seed = int(seed)
+        self._base_params = solver.params
+        # A non-parametric engine substitute (e.g. a tabulated fuel map)
+        # cannot be degraded through EngineParams; keep it across rebuilds
+        # and refuse schedules that try to fault it.
+        self._custom_engine = (solver.engine
+                               if not isinstance(solver.engine, Engine)
+                               else None)
+        if self._custom_engine is not None and any(
+                e.fault.kind == "engine_power_loss" for e in schedule):
+            raise FaultScenarioError(
+                "engine faults require the parametric engine model; this "
+                "solver uses a substitute engine "
+                f"({type(solver.engine).__name__})")
+        self._rng = np.random.default_rng(self._seed)
+        self._held: Dict[str, Optional[float]] = {}
+        self._signature: Tuple[float, ...] = self._schedule.plant_signature(
+            -1.0)
+        self._signal_pairs: List[Tuple[SensorFault, float]] = []
+        self._extra_aux = 0.0
+        self._active = False
+        self._activations = 0
+
+    @property
+    def solver(self) -> PowertrainSolver:
+        """The solver this harness mutates."""
+        return self._solver
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        """The fault schedule being applied."""
+        return self._schedule
+
+    @property
+    def active(self) -> bool:
+        """True while any fault currently has nonzero severity."""
+        return self._active
+
+    @property
+    def activations(self) -> int:
+        """Number of inactive-to-active transitions seen so far."""
+        return self._activations
+
+    # ---------------------------------------------------------- lifecycle ---
+
+    def begin_episode(self) -> None:
+        """Reset episode-scoped state (RNG, dropout holds, counters).
+
+        Resetting the RNG from the seed makes every episode's fault
+        realisation identical — required for the robustness sweeps to be
+        reproducible run to run.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._held = {}
+        self._active = False
+        self._activations = 0
+        self.advance(0.0)
+
+    def advance(self, t: float) -> None:
+        """Bring the plant and signal state up to episode time ``t`` (s)."""
+        signature = self._schedule.plant_signature(t)
+        if signature != self._signature:
+            self._rebuild_plant(t)
+            self._signature = signature
+        self._signal_pairs = []
+        self._extra_aux = 0.0
+        for fault, severity in self._schedule.severities(t):
+            if severity <= 0.0:
+                continue
+            if isinstance(fault, SensorFault):
+                self._signal_pairs.append((fault, severity))
+            elif isinstance(fault, AuxLoadSpike):
+                self._extra_aux += fault.extra_load(severity)
+        active = self._schedule.active(t)
+        if active and not self._active:
+            self._activations += 1
+        self._active = active
+
+    def restore(self) -> None:
+        """Put the solver back to its healthy (base) parameters."""
+        self._rebuild(self._base_params)
+        self._signature = self._schedule.plant_signature(-1.0)
+        self._signal_pairs = []
+        self._extra_aux = 0.0
+        self._active = False
+
+    # ------------------------------------------------------------ signals ---
+
+    @property
+    def signals_active(self) -> bool:
+        """True while a sensor fault or load spike is currently in force.
+
+        The simulator uses this to decide whether the controller's resolved
+        step can be trusted as the physical truth or must be re-resolved on
+        the true plant state.
+        """
+        return bool(self._signal_pairs) or self._extra_aux > 0.0
+
+    def observe_speed(self, speed: float) -> float:
+        """Speed as the controller's sensor reports it, m/s (>= 0)."""
+        return max(0.0, self._observe("speed", speed))
+
+    def observe_soc(self, soc: float) -> float:
+        """State of charge as the controller's gauge reports it (clipped
+        to the physical [0, 1] range)."""
+        return float(np.clip(self._observe("soc", soc), 0.0, 1.0))
+
+    def _observe(self, target: str, value: float) -> float:
+        observed = float(value)
+        for fault, severity in self._signal_pairs:
+            if fault.target != target:
+                continue
+            observed, held = fault.distort(observed, severity, self._rng,
+                                           self._held.get(target))
+            self._held[target] = held
+        return observed
+
+    def extra_aux_power(self) -> float:
+        """Current unsheddable parasitic draw, W."""
+        return self._extra_aux
+
+    # -------------------------------------------------------------- plant ---
+
+    def _rebuild_plant(self, t: float) -> None:
+        params = self._base_params
+        for fault, severity in self._schedule.severities(t):
+            if isinstance(fault, PlantFault) and severity > 0.0:
+                params = fault.apply(params, severity)
+        self._rebuild(params)
+
+    def _rebuild(self, params) -> None:
+        # Re-running __init__ swaps every component model for one built
+        # from the degraded parameters; everyone holding the solver sees
+        # the degraded vehicle on their next attribute access.
+        PowertrainSolver.__init__(self._solver, params,
+                                  engine=self._custom_engine)

@@ -1,0 +1,266 @@
+"""Composable fault models.
+
+Plant faults never touch the component physics: each one is a pure
+function ``VehicleParams -> VehicleParams`` (via :func:`dataclasses.replace`)
+parameterised by a severity in [0, 1], so faults compose by applying them
+in sequence and the existing component models simulate the degraded
+vehicle unchanged.  Signal faults distort scalar observations on their way
+to the controller, or add an unsheddable load the controller never
+commanded.
+
+Severity 0 must always be the identity — the schedule relies on that to
+clear a fault by ramping its severity back to zero.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.vehicle.params import VehicleParams
+
+SENSOR_TARGETS = ("speed", "soc")
+"""Observation channels a :class:`SensorFault` can corrupt."""
+
+
+def _check_fraction(name: str, value: float, upper: float = 1.0) -> None:
+    if not 0.0 <= value <= upper:
+        raise ConfigurationError(
+            f"{name} must be a fraction in [0, {upper:g}]; got {value!r}")
+
+
+class FaultModel(abc.ABC):
+    """Base class of every injectable fault."""
+
+    kind: str = "fault"
+    """Stable identifier used by the scenario JSON format."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description of the fault."""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable parameter dictionary (``kind`` included)."""
+        doc = {"kind": self.kind}
+        doc.update(dataclasses.asdict(self))
+        return doc
+
+
+class PlantFault(FaultModel):
+    """A fault that degrades the physical vehicle parameters."""
+
+    @abc.abstractmethod
+    def apply(self, params: VehicleParams, severity: float) -> VehicleParams:
+        """Return ``params`` degraded at ``severity`` in [0, 1].
+
+        Must be the identity at severity 0 and must not mutate ``params``.
+        """
+
+
+class SignalFault(FaultModel):
+    """A fault on the controller's inputs or the vehicle's loads, leaving
+    the plant parameters untouched."""
+
+
+# ---------------------------------------------------------------- plant ---
+
+@dataclass(frozen=True)
+class BatteryFade(PlantFault):
+    """Battery ageing: capacity fade plus internal-resistance growth.
+
+    At full severity the usable capacity shrinks by ``capacity_loss``
+    (fraction) and both directional resistances grow by
+    ``resistance_growth`` (fraction), the standard end-of-life signature
+    of a traction pack.
+    """
+
+    capacity_loss: float = 0.2
+    """Fractional capacity lost at severity 1 (0.2 = the usual 80% EoL)."""
+
+    resistance_growth: float = 0.5
+    """Fractional internal-resistance increase at severity 1."""
+
+    kind = "battery_fade"
+
+    def __post_init__(self) -> None:
+        _check_fraction("capacity_loss", self.capacity_loss, upper=0.95)
+        if self.resistance_growth < 0:
+            raise ConfigurationError("resistance growth cannot be negative")
+
+    def describe(self) -> str:
+        """One-line summary of the fade magnitudes."""
+        return (f"battery fade: -{self.capacity_loss:.0%} capacity, "
+                f"+{self.resistance_growth:.0%} resistance")
+
+    def apply(self, params: VehicleParams, severity: float) -> VehicleParams:
+        """Degrade capacity and resistances at ``severity``."""
+        b = params.battery
+        battery = dataclasses.replace(
+            b,
+            capacity=b.capacity * (1.0 - severity * self.capacity_loss),
+            discharge_resistance=b.discharge_resistance
+            * (1.0 + severity * self.resistance_growth),
+            charge_resistance=b.charge_resistance
+            * (1.0 + severity * self.resistance_growth))
+        return dataclasses.replace(params, battery=battery)
+
+
+@dataclass(frozen=True)
+class MotorDerating(PlantFault):
+    """EM thermal derating: the inverter folds back power and torque.
+
+    Models the over-temperature protection of the electric machine; at
+    full severity the available peak power and torque shrink by
+    ``power_derate`` / ``torque_derate``.
+    """
+
+    power_derate: float = 0.5
+    """Fraction of peak EM power removed at severity 1."""
+
+    torque_derate: float = 0.5
+    """Fraction of peak EM torque removed at severity 1."""
+
+    kind = "motor_derating"
+
+    def __post_init__(self) -> None:
+        _check_fraction("power_derate", self.power_derate, upper=0.95)
+        _check_fraction("torque_derate", self.torque_derate, upper=0.95)
+
+    def describe(self) -> str:
+        """One-line summary of the foldback magnitudes."""
+        return (f"EM thermal derating: -{self.power_derate:.0%} power, "
+                f"-{self.torque_derate:.0%} torque")
+
+    def apply(self, params: VehicleParams, severity: float) -> VehicleParams:
+        """Fold back EM peak power and torque at ``severity``."""
+        m = params.motor
+        motor = dataclasses.replace(
+            m,
+            max_power=m.max_power * (1.0 - severity * self.power_derate),
+            max_torque=m.max_torque * (1.0 - severity * self.torque_derate))
+        return dataclasses.replace(params, motor=motor)
+
+
+@dataclass(frozen=True)
+class EnginePowerLoss(PlantFault):
+    """ICE degradation: loss of wide-open-throttle power and torque
+    (clogged intake, misfiring cylinder, limp-home ECU map)."""
+
+    power_loss: float = 0.3
+    """Fraction of peak engine power removed at severity 1."""
+
+    kind = "engine_power_loss"
+
+    def __post_init__(self) -> None:
+        _check_fraction("power_loss", self.power_loss, upper=0.95)
+
+    def describe(self) -> str:
+        """One-line summary of the power-loss magnitude."""
+        return f"ICE power loss: -{self.power_loss:.0%} peak power/torque"
+
+    def apply(self, params: VehicleParams, severity: float) -> VehicleParams:
+        """Scale the WOT power and torque down at ``severity``."""
+        e = params.engine
+        scale = 1.0 - severity * self.power_loss
+        engine = dataclasses.replace(e, max_power=e.max_power * scale,
+                                     max_torque=e.max_torque * scale)
+        return dataclasses.replace(params, engine=engine)
+
+
+# --------------------------------------------------------------- signal ---
+
+@dataclass(frozen=True)
+class SensorFault(SignalFault):
+    """Corruption of one observation channel: additive Gaussian noise, a
+    constant bias, and/or sample-and-hold dropouts.
+
+    All three effects scale with the schedule's severity; a dropout holds
+    the last successfully observed value (the behaviour of a stale CAN
+    frame), so the controller acts on outdated state.
+    """
+
+    target: str = "soc"
+    """Observation channel: one of :data:`SENSOR_TARGETS`."""
+
+    noise_std: float = 0.0
+    """Gaussian noise standard deviation at severity 1 (channel units:
+    m/s for speed, SoC fraction for soc)."""
+
+    bias: float = 0.0
+    """Constant offset at severity 1 (channel units)."""
+
+    dropout: float = 0.0
+    """Per-step probability of a dropped sample at severity 1."""
+
+    kind = "sensor"
+
+    def __post_init__(self) -> None:
+        if self.target not in SENSOR_TARGETS:
+            raise ConfigurationError(
+                f"unknown sensor target {self.target!r}; "
+                f"expected one of {SENSOR_TARGETS}")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise std cannot be negative")
+        _check_fraction("dropout", self.dropout)
+
+    def describe(self) -> str:
+        """One-line summary of the active corruption effects."""
+        parts = []
+        if self.noise_std:
+            parts.append(f"noise std {self.noise_std:g}")
+        if self.bias:
+            parts.append(f"bias {self.bias:+g}")
+        if self.dropout:
+            parts.append(f"dropout {self.dropout:.0%}")
+        detail = ", ".join(parts) if parts else "transparent"
+        return f"{self.target} sensor fault: {detail}"
+
+    def distort(self, value: float, severity: float,
+                rng: np.random.Generator,
+                held: Optional[float]) -> Tuple[float, Optional[float]]:
+        """Corrupt one observation; returns ``(observed, new_held_value)``.
+
+        ``held`` is the last successfully sampled value (or None on the
+        first step); it is returned verbatim during a dropout.
+        """
+        if severity <= 0.0:
+            return float(value), float(value)
+        if (self.dropout > 0.0 and held is not None
+                and rng.random() < self.dropout * severity):
+            return float(held), float(held)
+        observed = float(value) + severity * self.bias
+        if self.noise_std > 0.0:
+            observed += severity * self.noise_std * rng.standard_normal()
+        return observed, float(value)
+
+
+@dataclass(frozen=True)
+class AuxLoadSpike(SignalFault):
+    """An unsheddable parasitic auxiliary load (stuck PTC heater, shorted
+    harness) added on top of whatever the controller commands.
+
+    The extra draw bypasses the auxiliary utility optimisation entirely —
+    the controller cannot shed it and earns no utility for it.
+    """
+
+    extra_power: float = 800.0
+    """Parasitic draw at severity 1, W."""
+
+    kind = "aux_spike"
+
+    def __post_init__(self) -> None:
+        if self.extra_power < 0:
+            raise ConfigurationError("parasitic draw cannot be negative")
+
+    def describe(self) -> str:
+        """One-line summary of the parasitic draw."""
+        return f"auxiliary load spike: +{self.extra_power:.0f} W unsheddable"
+
+    def extra_load(self, severity: float) -> float:
+        """Parasitic draw at the given severity, W."""
+        return self.extra_power * max(0.0, min(1.0, severity))

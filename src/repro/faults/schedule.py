@@ -1,0 +1,98 @@
+"""Time scheduling of faults: activation, severity ramps, clearing.
+
+A :class:`ScheduledFault` turns a static fault model into a time-varying
+severity profile; a :class:`FaultSchedule` is an ordered collection of
+them, queried by the harness once per simulation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultScenarioError
+from repro.faults.models import FaultModel, PlantFault
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """A fault model with an activation window and a severity ramp."""
+
+    fault: FaultModel
+    """The fault being scheduled."""
+
+    start: float = 0.0
+    """Activation time, s from the start of the episode."""
+
+    end: Optional[float] = None
+    """Clearing time, s (``None``: the fault persists to the end)."""
+
+    ramp: float = 0.0
+    """Seconds over which severity rises linearly from 0 to 1 after
+    ``start``; 0 makes the fault strike at full severity instantly."""
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultScenarioError("fault start time cannot be negative")
+        if self.ramp < 0:
+            raise FaultScenarioError("severity ramp cannot be negative")
+        if self.end is not None and self.end <= self.start:
+            raise FaultScenarioError(
+                f"fault end ({self.end}) must come after start ({self.start})")
+
+    def severity(self, t: float) -> float:
+        """Severity in [0, 1] at episode time ``t`` (s)."""
+        if t < self.start:
+            return 0.0
+        if self.end is not None and t >= self.end:
+            return 0.0
+        if self.ramp <= 0.0:
+            return 1.0
+        return min(1.0, (t - self.start) / self.ramp)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (fault parameters inlined)."""
+        doc = self.fault.to_dict()
+        doc.update({"start": self.start, "end": self.end, "ramp": self.ramp})
+        return doc
+
+
+class FaultSchedule:
+    """An ordered set of scheduled faults queried by episode time."""
+
+    def __init__(self, entries: Sequence[ScheduledFault] = ()):
+        for entry in entries:
+            if not isinstance(entry, ScheduledFault):
+                raise FaultScenarioError(
+                    "a FaultSchedule holds ScheduledFault entries; got "
+                    f"{type(entry).__name__} (wrap the fault model)")
+        self._entries: Tuple[ScheduledFault, ...] = tuple(entries)
+
+    @property
+    def entries(self) -> Tuple[ScheduledFault, ...]:
+        """The scheduled faults, in application order."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScheduledFault]:
+        return iter(self._entries)
+
+    def severities(self, t: float) -> List[Tuple[FaultModel, float]]:
+        """``(fault, severity)`` for every entry at episode time ``t``."""
+        return [(e.fault, e.severity(t)) for e in self._entries]
+
+    def plant_signature(self, t: float) -> Tuple[float, ...]:
+        """Severities of the plant faults only, in order.
+
+        The harness rebuilds the solver only when this tuple changes, so
+        pure signal faults never trigger a (comparatively expensive)
+        parameter rebuild.
+        """
+        return tuple(e.severity(t) for e in self._entries
+                     if isinstance(e.fault, PlantFault))
+
+    def active(self, t: float) -> bool:
+        """True when any fault has nonzero severity at time ``t``."""
+        return any(e.severity(t) > 0.0 for e in self._entries)

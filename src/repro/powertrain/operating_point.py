@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.powertrain.modes import OperatingMode
 
 
@@ -68,9 +69,9 @@ class OperatingPoint:
 
     def __post_init__(self) -> None:
         if self.aux_power < 0:
-            raise ValueError("auxiliary power cannot be negative")
+            raise ConfigurationError("auxiliary power cannot be negative")
         if self.fuel_rate < -1e-12:
-            raise ValueError("fuel rate cannot be negative")
+            raise ConfigurationError("fuel rate cannot be negative")
 
 
 @dataclass

@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.powertrain.modes import classify
 from repro.powertrain.operating_point import BatchResult, OperatingPoint
 from repro.vehicle.auxiliary import AuxiliarySystem
@@ -49,6 +50,11 @@ _SPEED_TOL = 1e-6
 _WINDOW_SLACK = 0.01
 """SoC slack (fraction of capacity) tolerated beyond the operating window
 before an action is declared infeasible; keeps boundary states solvable."""
+_WINDOW_EDGE_TOL = 1e-9
+"""Absolute tolerance on the slackened window edges: a post-step SoC that
+lands *exactly* on an edge must count as inside, but the Coulomb-counting
+round trip (charge -> fraction) can round the landing a few ULPs past it.
+The window comparison is therefore edge-inclusive up to this tolerance."""
 
 
 class PowertrainSolver:
@@ -96,9 +102,10 @@ class PowertrainSolver:
         gears = np.asarray(gears, dtype=int)
         aux = np.asarray(aux_powers, dtype=float)
         if not (len(currents) == len(gears) == len(aux)):
-            raise ValueError("action component arrays must be index-aligned")
+            raise ConfigurationError(
+                "action component arrays must be index-aligned")
         if dt <= 0:
-            raise ValueError("time step must be positive")
+            raise ConfigurationError("time step must be positive")
 
         wheel_speed = float(self.dynamics.wheel_speed(speed))
         wheel_torque = float(self.dynamics.wheel_torque(speed, acceleration, grade))
@@ -128,10 +135,15 @@ class PowertrainSolver:
         return np.clip(charge / p.capacity, 0.0, 1.0)
 
     def _window_ok(self, soc_next: np.ndarray) -> np.ndarray:
-        """True where the post-step SoC stays inside the (slackened) window."""
+        """True where the post-step SoC stays inside the (slackened) window.
+
+        Edge-inclusive: landing exactly on ``soc_min - slack`` (or the upper
+        mirror) is feasible even when floating-point round-off places the
+        computed fraction a few ULPs outside.
+        """
         p = self._params.battery
-        return ((soc_next >= p.soc_min - _WINDOW_SLACK)
-                & (soc_next <= p.soc_max + _WINDOW_SLACK))
+        return ((soc_next >= p.soc_min - _WINDOW_SLACK - _WINDOW_EDGE_TOL)
+                & (soc_next <= p.soc_max + _WINDOW_SLACK + _WINDOW_EDGE_TOL))
 
     def _standstill(self, p_dem: float, currents: np.ndarray, gears: np.ndarray,
                     aux: np.ndarray, soc: float, dt: float) -> BatchResult:
@@ -257,6 +269,32 @@ class PowertrainSolver:
                                   dtype=float)
         power_ok = np.abs(p_batt_check - p_batt_act) <= np.maximum(
             50.0, 0.02 * np.abs(p_batt_act))
+        # Discharge starvation: the pack cannot feed the EM the electrical
+        # power its torque requires.  The point is flagged infeasible above,
+        # but the fallback path may still execute it, so cut the executed EM
+        # torque back to what the delivered bus power can actually feed —
+        # otherwise the reported operating point creates energy (motor
+        # mechanical output above its electrical input).
+        starved = (~power_ok) & (t_em_final > 0.0)
+        if np.any(starved):
+            p_em_avail = p_batt_check - aux
+            t_em_avail = np.clip(np.asarray(
+                self.motor.torque_from_electrical_power(p_em_avail, omega_mot),
+                dtype=float), 0.0, t_em_lim)
+            t_em_final = np.where(starved, np.minimum(t_em_final, t_em_avail),
+                                  t_em_final)
+            p_em_act = np.asarray(
+                self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
+            p_batt_act = p_em_act + aux
+            i_act = np.asarray(self.battery.clamp_current(
+                self.battery.current_for_power(p_batt_act, soc)), dtype=float)
+            p_batt_check = np.asarray(self.battery.terminal_power(i_act, soc),
+                                      dtype=float)
+            delivered_shaft = (t_ice_final + np.asarray(
+                trans.motor_torque_at_shaft(t_em_final), dtype=float))
+            shortfall = np.where(braking, 0.0,
+                                 np.maximum(t_shaft_req - delivered_shaft, 0.0))
+            shortfall = np.where(motor_speed_ok, shortfall, np.abs(t_shaft_req))
 
         soc_next = self._soc_after(i_act, soc, dt)
         window = self._window_ok(soc_next)

@@ -69,6 +69,26 @@ class DoubleQLearner:
             self._episode += 1
         self._episode_dirty = False
 
+    # --- checkpointing ----------------------------------------------------------
+
+    def checkpoint_arrays(self) -> dict:
+        """Both estimator tables (the exposed mean is rebuilt on restore)."""
+        return {"q_a": self._table_a.values, "q_b": self._table_b.values}
+
+    def checkpoint_meta(self) -> dict:
+        """JSON-serialisable counters plus the coin-flip generator state."""
+        return {"episode": self._episode, "dirty": self._episode_dirty,
+                "coin_state": self._coin.bit_generator.state}
+
+    def restore_checkpoint(self, arrays: dict, meta: dict) -> None:
+        """Restore a boundary snapshot written by the checkpoint pair."""
+        self._table_a.values[:] = arrays["q_a"]
+        self._table_b.values[:] = arrays["q_b"]
+        self._refresh_mean()
+        self._episode = int(meta["episode"])
+        self._episode_dirty = bool(meta["dirty"])
+        self._coin.bit_generator.state = meta["coin_state"]
+
     def update(self, state: int, action: int, reward: float,
                next_state: int) -> float:
         """One double-Q update; returns the TD error of the updated table."""

@@ -46,6 +46,18 @@ class EpsilonGreedy:
         """Anneal epsilon at an episode boundary."""
         self.epsilon = max(self.epsilon * self._decay, self._min)
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot: annealed epsilon plus the exact
+        bit-generator state, so a resumed training run replays the same
+        exploration draws as an uninterrupted one."""
+        return {"epsilon": float(self.epsilon),
+                "rng_state": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.epsilon = float(state["epsilon"])
+        self._rng.bit_generator.state = state["rng_state"]
+
     def reset(self) -> None:
         """Restore the initial epsilon (fresh training run)."""
         self.epsilon = self._epsilon0

@@ -1,4 +1,4 @@
-"""Saving and loading trained joint-control policies.
+"""Saving and loading trained joint-control policies and training checkpoints.
 
 A trained policy is more than the Q-table: reloading it requires the exact
 state discretisation, action grid, and reward weights it was trained with,
@@ -6,21 +6,78 @@ or the table's rows and columns mean something else entirely.  This module
 serialises the Q-table (``.npz``) together with a JSON sidecar of the
 configuration fingerprint, and refuses to load a table into an agent whose
 configuration does not match.
+
+Two durability guarantees underpin crash-safe training
+(:func:`repro.sim.training.train` with ``checkpoint_path=`` /
+``resume_from=``):
+
+* **Atomic writes** — every file is written to a temporary sibling and
+  moved into place with :func:`os.replace`, so a crash mid-write can never
+  leave a truncated checkpoint where a good one used to be.
+* **Complete state** — a training checkpoint captures, besides the value
+  tables, every random-number-generator state and annealing counter the
+  training loop consumes (exploration RNG + epsilon, learner episode
+  counter, double-Q coin, adaptive SoC price, exploring-starts RNG), so a
+  killed-and-resumed run replays *bit-identically* the episodes an
+  uninterrupted run would have produced.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import CheckpointError
 from repro.rl.agent import JointControlAgent
 
 FORMAT_VERSION = 1
-"""Serialisation format version."""
+"""Policy serialisation format version."""
 
+CHECKPOINT_VERSION = 1
+"""Training-checkpoint serialisation format version."""
+
+
+# ------------------------------------------------------------ atomic writes ---
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_save_npz(path: Path, **arrays: np.ndarray) -> None:
+    """Atomically persist arrays as a compressed ``.npz``."""
+    import io
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    _atomic_write_bytes(path, buffer.getvalue())
+
+
+def _atomic_write_json(path: Path, obj: dict) -> None:
+    """Atomically persist a JSON document."""
+    payload = json.dumps(obj, indent=2, sort_keys=True).encode()
+    _atomic_write_bytes(path, payload + b"\n")
+
+
+# ---------------------------------------------------------------- policies ---
 
 def _fingerprint(agent: JointControlAgent) -> dict:
     """Configuration fingerprint that must match between save and load."""
@@ -40,20 +97,21 @@ def _fingerprint(agent: JointControlAgent) -> dict:
 def save_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
     """Persist an agent's policy to ``<path>.npz`` + ``<path>.json``.
 
-    ``path`` is a stem: two files are written next to each other.
+    ``path`` is a stem: two files are written next to each other, each
+    atomically (a crash mid-save never corrupts an existing policy).
     """
     stem = Path(path)
-    agent.learner.qtable.save(stem.with_suffix(".npz"))
-    with open(stem.with_suffix(".json"), "w") as f:
-        json.dump(_fingerprint(agent), f, indent=2, sort_keys=True)
+    _atomic_save_npz(stem.with_suffix(".npz"), q=agent.learner.qtable.values)
+    _atomic_write_json(stem.with_suffix(".json"), _fingerprint(agent))
 
 
 def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
     """Load a saved policy into a compatibly configured agent (in place).
 
-    Raises ``ValueError`` when the agent's configuration fingerprint does
-    not match the sidecar — a mismatched discretiser or action grid would
-    silently scramble the policy otherwise.
+    Raises :class:`repro.errors.CheckpointError` when the agent's
+    configuration fingerprint does not match the sidecar — a mismatched
+    discretiser or action grid would silently scramble the policy
+    otherwise.
     """
     stem = Path(path)
     with open(stem.with_suffix(".json")) as f:
@@ -62,13 +120,90 @@ def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
     mismatched = {key for key in current
                   if saved.get(key) != current[key]}
     if mismatched:
-        raise ValueError(
+        raise CheckpointError(
             "saved policy is incompatible with this agent; mismatched "
             f"fields: {sorted(mismatched)}")
     data = np.load(stem.with_suffix(".npz"))
     q = data["q"]
     if q.shape != agent.learner.qtable.values.shape:
-        raise ValueError(
+        raise CheckpointError(
             f"Q-table shape {q.shape} does not match agent "
             f"{agent.learner.qtable.values.shape}")
     agent.learner.qtable.values[:] = q
+
+
+# -------------------------------------------------------------- checkpoints ---
+
+def save_checkpoint(agent: JointControlAgent, path: Union[str, Path],
+                    episode: int,
+                    train_rng: Optional[np.random.Generator] = None) -> None:
+    """Write a crash-safe training checkpoint at an episode boundary.
+
+    ``episode`` is the number of training episodes *completed* so far.
+    ``train_rng`` is the training loop's exploring-starts generator (its
+    state is captured so resumed runs draw the same initial SoCs).  Files
+    land at ``<path>.npz`` + ``<path>.json``; both writes are atomic, and
+    the JSON (written last) is the marker of a complete checkpoint.
+    """
+    if episode < 0:
+        raise CheckpointError("completed-episode count cannot be negative")
+    stem = Path(path)
+    learner = agent.learner
+    _atomic_save_npz(stem.with_suffix(".npz"), **learner.checkpoint_arrays())
+    meta = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "fingerprint": _fingerprint(agent),
+        "episode": int(episode),
+        "learner": learner.checkpoint_meta(),
+        "exploration": agent.exploration.state_dict(),
+        "soc_price": float(agent.reward.soc_price),
+        "train_rng_state": (train_rng.bit_generator.state
+                            if train_rng is not None else None),
+    }
+    _atomic_write_json(stem.with_suffix(".json"), meta)
+
+
+def load_checkpoint(agent: JointControlAgent, path: Union[str, Path],
+                    train_rng: Optional[np.random.Generator] = None) -> int:
+    """Restore a training checkpoint into ``agent`` (in place).
+
+    Restores value tables, learner counters, exploration state, the
+    adaptive SoC price, and — when ``train_rng`` is passed — the training
+    loop's exploring-starts generator state.  Returns the number of
+    episodes already completed, so the caller continues from there.
+
+    Raises :class:`repro.errors.CheckpointError` on fingerprint or format
+    mismatches; a missing file surfaces as :class:`FileNotFoundError`.
+    """
+    stem = Path(path)
+    with open(stem.with_suffix(".json")) as f:
+        meta = json.load(f)
+    if meta.get("checkpoint_version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {meta.get('checkpoint_version')!r}"
+            f" (expected {CHECKPOINT_VERSION}); was this written by "
+            "save_policy instead of save_checkpoint?")
+    current = _fingerprint(agent)
+    saved = meta.get("fingerprint", {})
+    mismatched = {key for key in current if saved.get(key) != current[key]}
+    if mismatched:
+        raise CheckpointError(
+            "checkpoint is incompatible with this agent; mismatched "
+            f"fields: {sorted(mismatched)}")
+    data = np.load(stem.with_suffix(".npz"))
+    arrays = {name: data[name] for name in data.files}
+    try:
+        agent.learner.restore_checkpoint(arrays, meta["learner"])
+    except KeyError as exc:
+        raise CheckpointError(
+            f"checkpoint is missing learner state {exc}; the saved learner "
+            "algorithm probably differs from this agent's") from exc
+    agent.exploration.load_state_dict(meta["exploration"])
+    agent.reward.set_soc_price(meta["soc_price"])
+    if train_rng is not None:
+        if meta.get("train_rng_state") is None:
+            raise CheckpointError(
+                "checkpoint has no training-loop RNG state; it was not "
+                "written by the training loop's checkpointer")
+        train_rng.bit_generator.state = meta["train_rng_state"]
+    return int(meta["episode"])

@@ -14,6 +14,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 
 class QTable:
     """Dense |S| x |A| action-value table."""
@@ -25,7 +27,7 @@ class QTable:
         perturbations (Algorithm 1 line 1 allows arbitrary initialisation —
         a tiny jitter breaks argmax ties randomly but reproducibly)."""
         if num_states < 1 or num_actions < 1:
-            raise ValueError("table dimensions must be positive")
+            raise ConfigurationError("table dimensions must be positive")
         self._values = np.full((num_states, num_actions), float(initial_value))
         if rng is not None:
             self._values += rng.uniform(-1e-6, 1e-6, size=self._values.shape)

@@ -18,6 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.vehicle.auxiliary import UtilityFunction
 
 ArrayLike = Union[float, np.ndarray]
@@ -69,17 +70,17 @@ class RewardConfig:
 
     def __post_init__(self) -> None:
         if self.adaptive_price_gain < 0:
-            raise ValueError("adaptation gain cannot be negative")
+            raise ConfigurationError("adaptation gain cannot be negative")
         if not 0 < self.soc_target < 1:
-            raise ValueError("SoC target must be a fraction")
+            raise ConfigurationError("SoC target must be a fraction")
         if not 0 < self.price_bounds[0] < self.price_bounds[1]:
-            raise ValueError("price bounds out of order")
+            raise ConfigurationError("price bounds out of order")
         if self.aux_weight < 0:
-            raise ValueError("aux weight cannot be negative")
+            raise ConfigurationError("aux weight cannot be negative")
         if self.window_penalty < 0 or self.shortfall_penalty < 0:
-            raise ValueError("penalties cannot be negative")
+            raise ConfigurationError("penalties cannot be negative")
         if self.soc_price is not None and self.soc_price < 0:
-            raise ValueError("SoC price cannot be negative")
+            raise ConfigurationError("SoC price cannot be negative")
 
 
 def default_soc_price(capacity: float, nominal_voltage: float,
@@ -92,9 +93,9 @@ def default_soc_price(capacity: float, nominal_voltage: float,
     chain efficiency and the fuel energy density converts it to grams.
     """
     if capacity <= 0 or nominal_voltage <= 0:
-        raise ValueError("pack energy must be positive")
+        raise ConfigurationError("pack energy must be positive")
     if not 0 < conversion_efficiency <= 1:
-        raise ValueError("conversion efficiency must be in (0, 1]")
+        raise ConfigurationError("conversion efficiency must be in (0, 1]")
     return (capacity * nominal_voltage
             / (conversion_efficiency * fuel_energy_density))
 
@@ -130,6 +131,13 @@ class RewardFunction:
     def soc_price(self) -> float:
         """Active fuel-equivalent price of charge, g per unit SoC."""
         return self._soc_price
+
+    def set_soc_price(self, price: float) -> None:
+        """Pin the active SoC price (checkpoint restore of the adaptive
+        outer loop's state)."""
+        if price < 0:
+            raise ConfigurationError("SoC price cannot be negative")
+        self._soc_price = float(price)
 
     def adapt_price(self, final_soc: float) -> float:
         """Adaptive-ECMS-style outer loop: move the SoC price against the

@@ -103,6 +103,24 @@ class TDLambdaLearner:
         self._traces.clear()
         self._episode_dirty = False
 
+    # --- checkpointing ----------------------------------------------------------
+
+    def checkpoint_arrays(self) -> dict:
+        """Value arrays to persist at an episode boundary (traces are
+        cleared at the next :meth:`start_episode`, so they are not saved)."""
+        return {"q": self.qtable.values}
+
+    def checkpoint_meta(self) -> dict:
+        """JSON-serialisable learner counters (annealing schedule state)."""
+        return {"episode": self._episode, "dirty": self._episode_dirty}
+
+    def restore_checkpoint(self, arrays: dict, meta: dict) -> None:
+        """Restore a boundary snapshot written by the checkpoint pair."""
+        self.qtable.values[:] = arrays["q"]
+        self._episode = int(meta["episode"])
+        self._episode_dirty = bool(meta["dirty"])
+        self._traces.clear()
+
     def update(self, state: int, action: int, reward: float,
                next_state: int) -> float:
         """Apply one Algorithm 1 step; returns the TD error delta."""

@@ -10,6 +10,11 @@ from repro.sim.results import EpisodeResult
 from repro.sim.simulator import Simulator
 from repro.sim.training import TrainingRun, evaluate, evaluate_stationary, train
 from repro.sim.batch import BatchResult, Summary, compare_batches, run_batch
+from repro.sim.robustness import (
+    RobustnessReport,
+    RobustnessRow,
+    run_robustness,
+)
 
 __all__ = [
     "EpisodeResult",
@@ -22,4 +27,7 @@ __all__ = [
     "Summary",
     "run_batch",
     "compare_batches",
+    "RobustnessReport",
+    "RobustnessRow",
+    "run_robustness",
 ]

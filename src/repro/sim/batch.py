@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
+from repro.errors import ConfigurationError
 from repro.powertrain.solver import PowertrainSolver
 from repro.sim.results import EpisodeResult
 from repro.sim.simulator import Simulator
@@ -46,7 +47,7 @@ class Summary:
         """Summarise a non-empty sequence of observations."""
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
-            raise ValueError("cannot summarise zero observations")
+            raise ConfigurationError("cannot summarise zero observations")
         return cls(mean=float(arr.mean()),
                    std=float(arr.std(ddof=0)),
                    minimum=float(arr.min()),
@@ -67,7 +68,7 @@ class BatchResult:
     def summarize(self) -> Dict[str, Summary]:
         """Summaries of the standard figures of merit."""
         if not self.evaluations:
-            raise ValueError("empty batch")
+            raise ConfigurationError("empty batch")
         return {
             "total_fuel_g": Summary.of(
                 [e.total_fuel for e in self.evaluations]),
@@ -86,25 +87,36 @@ def run_batch(controller_factory: Callable[[PowertrainSolver, int],
                                            Controller],
               solver_factory: Callable[[], PowertrainSolver],
               cycle: DriveCycle, seeds: Sequence[int],
-              episodes: int = 30, initial_soc: float = 0.60) -> BatchResult:
+              episodes: int = 30, initial_soc: float = 0.60,
+              faults=None) -> BatchResult:
     """Train/evaluate one controller configuration across ``seeds``.
 
     ``controller_factory(solver, seed)`` builds a fresh controller per
     repetition; non-learning controllers simply ignore the seed and
     ``episodes`` is irrelevant for them (pass 1 to skip useless drives —
     the evaluation drive is always performed).
+
+    ``faults`` (a :class:`~repro.faults.schedule.FaultSchedule`) makes the
+    *evaluation* drive run in degraded mode while training stays on the
+    healthy vehicle — the standard robustness protocol: the policy never
+    saw the fault coming.
     """
     if not seeds:
-        raise ValueError("need at least one seed")
+        raise ConfigurationError("need at least one seed")
     if episodes < 1:
-        raise ValueError("need at least one episode")
+        raise ConfigurationError("need at least one episode")
     batch = BatchResult()
     for seed in seeds:
         solver = solver_factory()
         simulator = Simulator(solver)
         controller = controller_factory(solver, int(seed))
         run = train(simulator, controller, cycle, episodes=episodes,
-                    initial_soc=initial_soc)
+                    initial_soc=initial_soc,
+                    evaluate_after=faults is None)
+        if faults is not None:
+            run.evaluation = simulator.run_episode(
+                controller, cycle, initial_soc=initial_soc, learn=False,
+                greedy=True, faults=faults)
         batch.evaluations.append(run.evaluation)
     return batch
 

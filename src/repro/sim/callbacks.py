@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.errors import ConfigurationError
 from repro.rl.agent import JointControlAgent
 from repro.rl.persistence import save_policy
 from repro.sim.results import EpisodeResult
@@ -39,7 +40,7 @@ class ProgressPrinter:
 
     def __init__(self, every: int = 10, printer: Callable[[str], None] = print):
         if every < 1:
-            raise ValueError("print interval must be >= 1")
+            raise ConfigurationError("print interval must be >= 1")
         self._every = every
         self._print = printer
 
@@ -61,9 +62,9 @@ class EarlyStopping:
 
     def __init__(self, patience: int = 10, min_delta: float = 1.0):
         if patience < 1:
-            raise ValueError("patience must be >= 1")
+            raise ConfigurationError("patience must be >= 1")
         if min_delta < 0:
-            raise ValueError("min_delta cannot be negative")
+            raise ConfigurationError("min_delta cannot be negative")
         self._patience = patience
         self._min_delta = min_delta
         self.best: Optional[float] = None

@@ -10,10 +10,11 @@ episode at different states of charge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.units import mpg as mpg_of
 
 
@@ -75,6 +76,10 @@ class EpisodeResult:
     fuel_energy_density: float
     """Fuel lower heating value, J/g."""
 
+    fault_active: Optional[np.ndarray] = None
+    """Per-step flag marking steps driven with at least one fault at
+    nonzero severity; ``None`` for runs without fault injection."""
+
     # --- aggregates -------------------------------------------------------------
 
     @property
@@ -114,7 +119,7 @@ class EpisodeResult:
         controllers with different final SoC.
         """
         if not 0.0 < conversion_efficiency <= 1.0:
-            raise ValueError("conversion efficiency must be in (0, 1]")
+            raise ConfigurationError("conversion efficiency must be in (0, 1]")
         extra = self.soc_deficit_energy / (conversion_efficiency
                                            * self.fuel_energy_density)
         return max(self.total_fuel + extra, 0.0)
@@ -146,6 +151,25 @@ class EpisodeResult:
     def fallback_steps(self) -> int:
         """Number of steps executed through the fallback path."""
         return int(np.sum(~self.feasible))
+
+    @property
+    def faulted_steps(self) -> int:
+        """Number of steps driven with an active fault (0 when the run had
+        no fault injection)."""
+        if self.fault_active is None:
+            return 0
+        return int(np.sum(self.fault_active))
+
+    def window_violation_steps(self, soc_min: float, soc_max: float,
+                               tolerance: float = 1e-9) -> int:
+        """Steps whose post-step SoC sits outside ``[soc_min, soc_max]``.
+
+        The window is passed in (rather than stored) because degraded-mode
+        runs are judged against the *healthy* vehicle's charge-sustaining
+        window.
+        """
+        return int(np.sum((self.soc < soc_min - tolerance)
+                          | (self.soc > soc_max + tolerance)))
 
     @property
     def mean_aux_power(self) -> float:

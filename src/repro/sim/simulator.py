@@ -4,16 +4,36 @@ The simulator owns the physical truth: it replays the drive cycle, hands
 the controller only what is observable, applies the executed action to the
 battery by Coulomb counting, and collects the traces into an
 :class:`EpisodeResult`.
+
+Two robustness layers run inside the step loop:
+
+* **Fault injection** — ``run_episode(..., faults=...)`` drives a
+  :class:`repro.faults.harness.FaultHarness` in lockstep with the cycle:
+  plant faults degrade the shared solver in place, sensor faults distort
+  the observations handed to the controller, and load spikes add an
+  unsheddable draw.  When the controller acted on distorted observations
+  (or an extra load is present), its resolved step is re-resolved on the
+  *true* plant state, so the recorded traces are what physically happened
+  rather than what the controller believed.
+* **Numerical watchdog** — every executed step is checked for NaN/Inf
+  before it is allowed to advance the battery state; a non-finite value
+  raises :class:`repro.errors.NumericalError` immediately instead of
+  silently poisoning the downstream traces and Q-values.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
+from repro.errors import ConfigurationError, NumericalError
 from repro.powertrain.solver import PowertrainSolver
 from repro.sim.results import EpisodeResult
+from repro.vehicle.battery import BatteryState
 
 
 class Simulator:
@@ -27,17 +47,48 @@ class Simulator:
         """The shared powertrain solver."""
         return self._solver
 
+    def _fault_harness(self, faults):
+        """Normalise the ``faults`` argument to a bound harness (or None)."""
+        if faults is None:
+            return None
+        from repro.faults.harness import FaultHarness
+        from repro.faults.schedule import FaultSchedule
+        if isinstance(faults, FaultSchedule):
+            return FaultHarness(self._solver, faults)
+        if isinstance(faults, FaultHarness):
+            if faults.solver is not self._solver:
+                raise ConfigurationError(
+                    "the fault harness is bound to a different solver than "
+                    "this simulator")
+            return faults
+        raise ConfigurationError(
+            "faults must be a FaultSchedule or a FaultHarness; got "
+            f"{type(faults).__name__}")
+
+    @staticmethod
+    def _watchdog(t: int, **values: float) -> None:
+        """Raise :class:`NumericalError` if any step quantity is non-finite."""
+        for name, value in values.items():
+            if not math.isfinite(value):
+                raise NumericalError(
+                    f"numerical watchdog: {name} became non-finite "
+                    f"({value!r}) at step {t}")
+
     def run_episode(self, controller: Controller, cycle: DriveCycle,
                     initial_soc: float = 0.60, learn: bool = True,
-                    greedy: bool = False) -> EpisodeResult:
+                    greedy: bool = False,
+                    faults=None) -> EpisodeResult:
         """Drive ``cycle`` once under ``controller``.
 
         ``learn`` lets learning controllers update their policy during the
         drive; ``greedy`` forces pure exploitation (evaluation runs use
-        ``learn=False, greedy=True``).
+        ``learn=False, greedy=True``).  ``faults`` injects a
+        :class:`~repro.faults.schedule.FaultSchedule` or a pre-built
+        :class:`~repro.faults.harness.FaultHarness`; the solver is restored
+        to its healthy parameters when the episode ends, even on error.
         """
+        harness = self._fault_harness(faults)
         battery = self._solver.battery
-        params = battery.params
         state = battery.initial_state(initial_soc)
 
         steps = len(cycle) - 1
@@ -52,27 +103,79 @@ class Simulator:
         feasible = np.zeros(steps, dtype=bool)
         p_dem = np.zeros(steps)
         speeds = np.zeros(steps)
+        fault_active = np.zeros(steps, dtype=bool) if harness else None
 
         controller.begin_episode()
-        for t, (speed, accel, grade) in enumerate(cycle.steps()):
-            soc = battery.soc(state)
-            step = controller.act(speed, accel, soc, cycle.dt, grade,
-                                  learn=learn, greedy=greedy)
-            state = battery.step(state, step.current, cycle.dt)
+        if harness is not None:
+            harness.begin_episode()
+        try:
+            for t, (speed, accel, grade) in enumerate(cycle.steps()):
+                if harness is not None:
+                    capacity_before = self._solver.battery.params.capacity
+                    harness.advance(t * cycle.dt)
+                    battery = self._solver.battery
+                    capacity = battery.params.capacity
+                    if capacity != capacity_before:
+                        # Capacity fade rescales the charge so the SoC
+                        # *fraction* is continuous: the gauge (and the
+                        # operating window, defined in fractions) shrink
+                        # with the pack.
+                        state = BatteryState(
+                            charge=state.charge * capacity / capacity_before)
+                    fault_active[t] = harness.active
+                soc = battery.soc(state)
 
-            speeds[t] = speed
-            p_dem[t] = step.power_demand
-            fuel[t] = step.fuel_rate
-            reward[t] = step.reward
-            paper_reward[t] = step.paper_reward
-            soc_trace[t] = battery.soc(state)
-            current[t] = step.current
-            gear[t] = step.gear
-            aux[t] = step.aux_power
-            mode[t] = step.mode
-            feasible[t] = step.feasible
-        controller.finish_episode(learn=learn)
+                obs_speed, obs_soc = speed, soc
+                if harness is not None and harness.signals_active:
+                    obs_speed = harness.observe_speed(speed)
+                    obs_soc = harness.observe_soc(soc)
 
+                step = controller.act(obs_speed, accel, obs_soc, cycle.dt,
+                                      grade, learn=learn, greedy=greedy)
+
+                exec_current = step.current
+                exec_fuel = step.fuel_rate
+                exec_aux = step.aux_power
+                exec_mode = step.mode
+                exec_feasible = step.feasible
+                if harness is not None and harness.signals_active:
+                    # The controller resolved its action against distorted
+                    # observations (and without the parasitic load); what
+                    # physically executes is its commanded action resolved
+                    # on the true state with the true bus load.
+                    point = self._solver.evaluate(
+                        speed, accel, soc, step.current, step.gear,
+                        step.aux_power + harness.extra_aux_power(),
+                        cycle.dt, grade)
+                    exec_current = point.battery_current
+                    exec_fuel = point.fuel_rate
+                    exec_aux = point.aux_power
+                    exec_mode = int(point.mode)
+                    exec_feasible = bool(point.feasible)
+
+                self._watchdog(t, current=exec_current, fuel_rate=exec_fuel,
+                               reward=step.reward, soc=soc)
+                state = battery.step(state, exec_current, cycle.dt)
+                self._watchdog(t, charge=state.charge)
+
+                speeds[t] = speed
+                p_dem[t] = step.power_demand
+                fuel[t] = exec_fuel
+                reward[t] = step.reward
+                paper_reward[t] = step.paper_reward
+                soc_trace[t] = battery.soc(state)
+                current[t] = exec_current
+                gear[t] = step.gear
+                aux[t] = exec_aux
+                mode[t] = exec_mode
+                feasible[t] = exec_feasible
+            controller.finish_episode(learn=learn)
+        finally:
+            if harness is not None:
+                harness.restore()
+
+        battery = self._solver.battery
+        params = battery.params
         nominal_voltage = float(battery.open_circuit_voltage(
             0.5 * (params.soc_min + params.soc_max)))
         return EpisodeResult(
@@ -82,4 +185,5 @@ class Simulator:
             gear=gear, aux_power=aux, mode=mode, feasible=feasible,
             initial_soc=initial_soc, battery_capacity=params.capacity,
             nominal_voltage=nominal_voltage,
-            fuel_energy_density=self._solver.engine.fuel_energy_density)
+            fuel_energy_density=self._solver.engine.fuel_energy_density,
+            fault_active=fault_active)

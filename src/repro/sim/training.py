@@ -9,12 +9,14 @@ plot convergence (reward versus episode).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
+from repro.errors import CheckpointError, ConfigurationError
 from repro.sim.results import EpisodeResult
 from repro.sim.simulator import Simulator
 
@@ -40,12 +42,26 @@ class TrainingRun:
         return [e.total_paper_reward for e in self.episodes]
 
 
+def _checkpoint_agent(controller: Controller):
+    """The checkpointable agent behind a controller, or raise."""
+    agent = getattr(controller, "agent", None)
+    if agent is None or not hasattr(agent, "learner"):
+        raise CheckpointError(
+            "checkpointing requires a learning controller exposing its "
+            "agent (e.g. RLController); got "
+            f"{type(controller).__name__}")
+    return agent
+
+
 def train(simulator: Simulator, controller: Controller, cycle: DriveCycle,
           episodes: int = 30, initial_soc: float = 0.60,
           initial_soc_jitter: float = 0.10,
           evaluate_after: bool = True,
           callback: Optional[Callable[[int, EpisodeResult], None]] = None,
-          seed: int = 0) -> TrainingRun:
+          seed: int = 0,
+          checkpoint_path: Optional[Union[str, Path]] = None,
+          checkpoint_every: int = 1,
+          resume_from: Optional[Union[str, Path]] = None) -> TrainingRun:
     """Train ``controller`` on ``cycle`` for ``episodes`` drives.
 
     Training episodes use *exploring starts*: the initial state of charge
@@ -60,17 +76,41 @@ def train(simulator: Simulator, controller: Controller, cycle: DriveCycle,
     reporting, early stopping by raising, ...).  When ``evaluate_after`` is
     set, a final greedy non-learning drive from the nominal ``initial_soc``
     is recorded in ``evaluation``.
+
+    **Crash safety** — ``checkpoint_path`` writes an atomic training
+    checkpoint (:func:`repro.rl.persistence.save_checkpoint`) every
+    ``checkpoint_every`` completed episodes.  ``resume_from`` restores one
+    and continues training toward the same ``episodes`` total; because the
+    checkpoint captures every RNG state the loop consumes, a killed run
+    resumed this way produces a final policy *bit-identical* to the
+    uninterrupted run (build the resumed controller with the same seed and
+    configuration).  ``TrainingRun.episodes`` then holds only the
+    post-resume episodes.
     """
     if episodes < 1:
-        raise ValueError("need at least one training episode")
+        raise ConfigurationError("need at least one training episode")
     if initial_soc_jitter < 0:
-        raise ValueError("SoC jitter cannot be negative")
+        raise ConfigurationError("SoC jitter cannot be negative")
+    if checkpoint_every < 1:
+        raise ConfigurationError("checkpoint interval must be >= 1")
     battery = simulator.solver.params.battery
     lo = battery.soc_min + 0.03
     hi = battery.soc_max - 0.03
     rng = np.random.default_rng(seed)
+    first_episode = 0
+    if resume_from is not None:
+        from repro.rl.persistence import load_checkpoint
+        agent = _checkpoint_agent(controller)
+        first_episode = load_checkpoint(agent, resume_from, train_rng=rng)
+        if first_episode >= episodes:
+            raise CheckpointError(
+                f"checkpoint already holds {first_episode} completed "
+                f"episodes; nothing to resume toward episodes={episodes}")
+    if checkpoint_path is not None:
+        from repro.rl.persistence import save_checkpoint
+        agent = _checkpoint_agent(controller)
     run = TrainingRun()
-    for ep in range(episodes):
+    for ep in range(first_episode, episodes):
         if initial_soc_jitter > 0:
             start = float(np.clip(
                 initial_soc + rng.uniform(-initial_soc_jitter,
@@ -82,6 +122,9 @@ def train(simulator: Simulator, controller: Controller, cycle: DriveCycle,
         run.episodes.append(result)
         if callback is not None:
             callback(ep, result)
+        if checkpoint_path is not None and (ep + 1) % checkpoint_every == 0:
+            save_checkpoint(agent, checkpoint_path, episode=ep + 1,
+                            train_rng=rng)
     if evaluate_after:
         run.evaluation = evaluate(simulator, controller, cycle,
                                   initial_soc=initial_soc)
@@ -89,10 +132,15 @@ def train(simulator: Simulator, controller: Controller, cycle: DriveCycle,
 
 
 def evaluate(simulator: Simulator, controller: Controller, cycle: DriveCycle,
-             initial_soc: float = 0.60) -> EpisodeResult:
-    """One greedy, non-learning drive of ``cycle`` under ``controller``."""
+             initial_soc: float = 0.60, faults=None) -> EpisodeResult:
+    """One greedy, non-learning drive of ``cycle`` under ``controller``.
+
+    ``faults`` (a :class:`~repro.faults.schedule.FaultSchedule` or bound
+    :class:`~repro.faults.harness.FaultHarness`) drives the evaluation in
+    degraded mode; the solver is restored afterwards.
+    """
     return simulator.run_episode(controller, cycle, initial_soc=initial_soc,
-                                 learn=False, greedy=True)
+                                 learn=False, greedy=True, faults=faults)
 
 
 def evaluate_stationary(simulator: Simulator, controller: Controller,
@@ -110,7 +158,7 @@ def evaluate_stationary(simulator: Simulator, controller: Controller,
     controllers.
     """
     if settle_passes < 1:
-        raise ValueError("need at least one settling pass")
+        raise ConfigurationError("need at least one settling pass")
     soc = initial_soc
     for _ in range(settle_passes):
         warmup = simulator.run_episode(controller, cycle, initial_soc=soc,

@@ -20,6 +20,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError, InfeasibleActionError
 from repro.vehicle.params import AuxiliaryParams
 
 ArrayLike = Union[float, np.ndarray]
@@ -59,7 +60,8 @@ class UtilityFunction:
         p = self._params
         hi = min(p.max_power, power_cap)
         if hi < p.min_power:
-            raise ValueError("power cap below the safety-critical auxiliary floor")
+            raise InfeasibleActionError(
+                "power cap below the safety-critical auxiliary floor")
         return float(np.clip(p.preferred_power, p.min_power, hi))
 
     def marginal(self, power: ArrayLike) -> ArrayLike:
@@ -84,7 +86,7 @@ class AuxiliaryLoad:
 
     def __post_init__(self) -> None:
         if self.nominal_power < 0:
-            raise ValueError("load power cannot be negative")
+            raise ConfigurationError("load power cannot be negative")
 
 
 def default_loads() -> Sequence[AuxiliaryLoad]:
@@ -115,7 +117,7 @@ class AuxiliarySystem:
         self._utility = UtilityFunction(params)
         floor = sum(l.nominal_power for l in self._loads if not l.sheddable)
         if floor > params.max_power:
-            raise ValueError("non-sheddable loads exceed the auxiliary power cap")
+            raise ConfigurationError("non-sheddable loads exceed the auxiliary power cap")
 
     @property
     def params(self) -> AuxiliaryParams:
@@ -152,7 +154,7 @@ class AuxiliarySystem:
         """``count`` evenly spaced admissible power levels (for the full
         action space, which needs a discretised ``P_aux`` set)."""
         if count < 1:
-            raise ValueError("need at least one level")
+            raise ConfigurationError("need at least one level")
         if count == 1:
             return np.asarray([self._utility.argmax(self.max_power)])
         return np.linspace(self.min_power, self.max_power, count)

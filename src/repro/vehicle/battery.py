@@ -19,6 +19,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.vehicle.params import BatteryParams
 
 ArrayLike = Union[float, np.ndarray]
@@ -52,7 +53,7 @@ class Battery:
     def initial_state(self, soc: float = 0.6) -> BatteryState:
         """Create a battery state at the given state of charge (fraction)."""
         if not 0.0 <= soc <= 1.0:
-            raise ValueError("initial SoC must be a fraction in [0, 1]")
+            raise ConfigurationError("initial SoC must be a fraction in [0, 1]")
         return BatteryState(charge=soc * self._params.capacity)
 
     def soc(self, state: BatteryState) -> float:
@@ -150,7 +151,7 @@ class Battery:
         against numerical overshoot).
         """
         if dt <= 0:
-            raise ValueError("time step must be positive")
+            raise ConfigurationError("time step must be positive")
         if current >= 0.0:
             delta = -current * dt
         else:

@@ -217,3 +217,33 @@ class TestPhysicalInvariants:
                                       1.0)
         assert float(batch.soc_next[0]) == pytest.approx(
             solver.battery.soc(stepped), abs=1e-9)
+
+
+class TestWindowEdge:
+    """Regression: a post-step SoC landing *exactly* on the slackened
+    window edge must be feasible.
+
+    The edge is computed as ``soc_min - slack`` in floats (0.4 - 0.01 =
+    0.39000000000000007), while a Coulomb round trip that mathematically
+    lands on 0.39 produces the float 0.39 — a few ULPs *below* the
+    computed edge.  Without the edge tolerance the raw comparison declared
+    such landings infeasible.
+    """
+
+    def test_exact_edge_landing_is_feasible(self, solver):
+        from repro.powertrain.solver import _WINDOW_SLACK
+        p = solver.params.battery
+        # 78 A for 3 s removes exactly 234 C = 1% of the 23 400 C pack:
+        # a landing mathematically on the slackened floor.
+        soc_next = solver._soc_after(np.array([78.0]), p.soc_min, 3.0)
+        # The float round trip puts the landing at or below the computed
+        # edge (this is the situation that used to be rejected).
+        assert soc_next[0] <= p.soc_min - _WINDOW_SLACK
+        assert bool(solver._window_ok(soc_next)[0])
+
+    def test_clearly_outside_still_infeasible(self, solver):
+        p = solver.params.battery
+        below = np.array([p.soc_min - 0.02])
+        above = np.array([p.soc_max + 0.02])
+        assert not bool(solver._window_ok(below)[0])
+        assert not bool(solver._window_ok(above)[0])
