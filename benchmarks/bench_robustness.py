@@ -7,7 +7,14 @@ limp-home, sensor corruption, auxiliary load spikes, and the combined
 ``limp_home`` study).  The sweep asserts the core robustness promise:
 every faulted run completes with finite traces and the controllers
 degrade gracefully instead of collapsing.
+
+The grid executes through the supervised executor: serial in-process by
+default (bit-identical to the historical loop), or fanned out to
+isolated worker processes when ``REPRO_BENCH_JOBS`` is set — either way
+the sweep must achieve full coverage with an empty quarantine list.
 """
+
+import os
 
 import pytest
 
@@ -15,6 +22,7 @@ from benchmarks.common import SEED, ablation_episodes, report
 from repro.control import ECMSController, RuleBasedController
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import standard_cycle
+from repro.exec import Supervisor
 from repro.faults import builtin_scenarios
 from repro.powertrain import PowertrainSolver
 from repro.sim import Simulator, run_robustness, train
@@ -38,11 +46,13 @@ def test_robustness_sweep(benchmark):
     scenarios = builtin_scenarios()
     assert len(scenarios) >= 4
 
+    executor = Supervisor(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+                          failure_mode="quarantine")
     sweep = {}
 
     def run_sweep():
         sweep["report"] = run_robustness(simulator, controllers, scenarios,
-                                         cycle, seed=SEED)
+                                         cycle, seed=SEED, executor=executor)
         return sweep["report"]
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -51,6 +61,8 @@ def test_robustness_sweep(benchmark):
 
     # Every fault run must complete with finite traces (the watchdog
     # would have raised otherwise) and the schedules must actually fire.
+    assert not result.failures, [f.describe() for f in result.failures]
+    assert result.coverage == 1.0
     assert len(result.rows) == len(controllers) * (len(scenarios) + 1)
     for row in result.rows:
         assert row.finite, f"{row.controller}/{row.scenario} went non-finite"

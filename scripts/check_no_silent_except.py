@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Lint: no silently-swallowed exceptions outside annotated containment.
+
+A supervised execution layer only reports failures honestly if nothing
+below it eats exceptions.  This lint bans ``except: pass`` /
+``except Exception: pass`` style handlers (a body that is only ``pass``
+or ``...``) across the library, the scripts, and the benchmarks.
+
+The supervisor's own containment points — places that *must* swallow
+(e.g. reporting over a pipe that the parent may already have closed) —
+are exempted by annotating the ``except`` line with a trailing
+``# containment: <reason>`` comment.  The annotation is part of the
+contract: it forces every swallow to state why losing the exception is
+correct.
+
+Exits non-zero listing every offending handler.  Run from anywhere:
+``python scripts/check_no_silent_except.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+SCAN_ROOTS = ["src/repro", "scripts", "benchmarks"]
+"""Directories (relative to the repo root) whose ``*.py`` files are linted."""
+
+ANNOTATION = "# containment:"
+"""Marker that exempts one handler, with a stated reason."""
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for node in handler.body:
+        if isinstance(node, ast.Pass):
+            continue
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # a bare docstring/Ellipsis is still doing nothing
+        return False
+    return True
+
+
+def offending_handlers(path: Path) -> List[Tuple[int, str]]:
+    """``(line, description)`` for every unannotated silent handler."""
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_silent(node):
+            continue
+        except_line = lines[node.lineno - 1]
+        if ANNOTATION in except_line:
+            continue
+        caught = ("bare except" if node.type is None
+                  else f"except {ast.unparse(node.type)}")
+        bad.append((node.lineno, caught))
+    return bad
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems = []
+    for rel in SCAN_ROOTS:
+        base = root / rel
+        if not base.exists():
+            problems.append(f"{rel}: declared scan root does not exist")
+            continue
+        for path in sorted(base.rglob("*.py")):
+            for lineno, caught in offending_handlers(path):
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: {caught} silently "
+                    f"swallows (annotate '{ANNOTATION} <reason>' if this "
+                    "is a deliberate containment point)")
+    if problems:
+        print("check_no_silent_except: FAIL", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"check_no_silent_except: OK ({len(SCAN_ROOTS)} roots clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

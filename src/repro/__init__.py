@@ -13,6 +13,9 @@ The package implements the paper's full stack from scratch:
   contribution),
 * :mod:`repro.control` — baselines: rule-based [5], ECMS, offline DP,
 * :mod:`repro.sim` — episode simulation and training loops,
+* :mod:`repro.exec` — supervised parallel execution (worker isolation,
+  timeouts, retries, resumable sweep manifests),
+* :mod:`repro.faults` — fault injection for degraded-mode studies,
 * :mod:`repro.analysis` — metrics and report rendering.
 
 Quickstart::

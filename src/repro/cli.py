@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the everyday workflows:
+Six subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
@@ -12,15 +12,22 @@ Five subcommands cover the everyday workflows:
 * ``compare``  — train the RL controller and print the proposed-vs-baseline
   table for one cycle.
 * ``faults``   — list the built-in fault scenarios for degraded-mode runs.
+* ``sweep``    — run the controllers × fault-scenarios robustness grid
+  through the supervised executor: ``--jobs`` isolated workers,
+  per-task ``--timeout``, bounded ``--retries``, journaling to an
+  append-only ``--manifest``, and ``--resume`` to skip finished work
+  after a kill.
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
-(:class:`repro.errors.ReproError`) are reported as a one-line message on
-stderr with exit code 2 instead of a traceback.
+(:class:`repro.errors.ReproError`) — including executor and manifest
+misconfiguration — are reported as a one-line message on stderr with exit
+code 2 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -34,11 +41,12 @@ from repro.control import (
 )
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import STANDARD_SPECS, compute_stats, save_csv, standard_cycle
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.exec import Supervisor, SweepManifest
 from repro.faults import FaultHarness, builtin_scenarios, get_scenario
 from repro.powertrain import PowertrainSolver
 from repro.rl.persistence import load_policy, save_policy
-from repro.sim import Simulator, evaluate, evaluate_stationary, train
+from repro.sim import Simulator, evaluate, evaluate_stationary, run_robustness, train
 from repro.sim.callbacks import ProgressPrinter, train_with_callbacks
 from repro.vehicle import default_vehicle
 
@@ -95,6 +103,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--episodes", type=int, default=50)
     p_cmp.add_argument("--repeats", type=int, default=2)
     p_cmp.add_argument("--seed", type=int, default=42)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="supervised controllers x scenarios robustness sweep")
+    p_sweep.add_argument("--cycle", default="NYCC")
+    p_sweep.add_argument("--repeats", type=int, default=1)
+    p_sweep.add_argument("--controllers", default="rule-based,ecms",
+                         help="comma-separated baseline names "
+                              f"({', '.join(sorted(_BASELINES))})")
+    p_sweep.add_argument("--scenarios", default="all",
+                         help="'all' or comma-separated scenario names / "
+                              "scenario JSON paths")
+    p_sweep.add_argument("--seed", type=int, default=42)
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="isolated worker processes (1 = serial "
+                              "in-process)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-run wall-clock limit in seconds "
+                              "(hung runs are killed and quarantined)")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="retry budget per run (exponential backoff)")
+    p_sweep.add_argument("--manifest", metavar="PATH",
+                         help="journal completed runs to this JSONL sweep "
+                              "manifest (must not already exist)")
+    p_sweep.add_argument("--resume", metavar="PATH",
+                         help="resume from an existing sweep manifest: "
+                              "finished runs are skipped and new "
+                              "completions are appended to the same file")
     return parser
 
 
@@ -190,6 +225,62 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    if args.manifest and args.resume:
+        raise ConfigurationError(
+            "--manifest and --resume are mutually exclusive; --resume "
+            "appends to the manifest it resumes from")
+    manifest = None
+    if args.resume:
+        manifest = SweepManifest(args.resume, resume=True)
+    elif args.manifest:
+        manifest = SweepManifest(args.manifest)
+    executor = Supervisor(jobs=args.jobs, timeout=args.timeout,
+                          retries=args.retries, manifest=manifest,
+                          failure_mode="quarantine")
+
+    names = [n.strip() for n in args.controllers.split(",") if n.strip()]
+    if not names:
+        raise ConfigurationError("need at least one controller")
+    unknown = sorted(set(names) - set(_BASELINES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown controller(s) {unknown}; "
+            f"available: {sorted(_BASELINES)}")
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    controllers = {name: _BASELINES[name](solver) for name in names}
+
+    if args.scenarios.strip() == "all":
+        scenarios = builtin_scenarios()
+    else:
+        scenarios = {}
+        for token in (t.strip() for t in args.scenarios.split(",")):
+            if not token:
+                continue
+            scenario = get_scenario(token)
+            scenarios[scenario.name] = scenario
+    if not scenarios:
+        raise ConfigurationError("need at least one fault scenario")
+
+    cycle = standard_cycle(args.cycle).repeat(args.repeats)
+    mode = (f"{args.jobs} isolated worker(s)" if executor.isolated
+            else "serial in-process")
+    print(f"sweeping {len(controllers)} controller(s) x "
+          f"{len(scenarios)} scenario(s) on {cycle} [{mode}]")
+    report = run_robustness(simulator, controllers, scenarios, cycle,
+                            seed=args.seed, executor=executor)
+    print(report.render())
+    if not report.failures:
+        print(f"\ncoverage: {len(report.rows)}/{report.planned} runs, "
+              "nothing quarantined")
+    if not report.rows:
+        raise ConfigurationError(
+            "sweep produced no surviving runs "
+            f"({len(report.failures)} quarantined)")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     scenarios = builtin_scenarios()
     print(f"{'name':15s} {'faults':>6s}  description")
@@ -218,12 +309,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
         "faults": _cmd_faults,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``python -m repro cycles | head``);
+        # detach stdout so the interpreter's shutdown flush cannot re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

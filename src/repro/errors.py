@@ -55,3 +55,17 @@ class NumericalError(ReproError, ArithmeticError):
 class FaultScenarioError(ReproError, ValueError):
     """A fault scenario is malformed (unknown fault kind, bad schedule
     bounds, unparseable scenario JSON)."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """The supervised executor cannot run at all (worker isolation
+    unavailable on this platform, duplicate task keys, a sweep whose
+    every task was quarantined).
+
+    Per-task failures never raise this — they are captured as
+    :class:`repro.exec.TaskFailure` records instead."""
+
+
+class ManifestError(ReproError, ValueError):
+    """A sweep manifest cannot be read or reused (missing file, corrupt
+    non-final record, unknown payload type, incompatible version)."""

@@ -1,0 +1,252 @@
+"""Append-only JSONL sweep manifests: journal, resume, payload codec.
+
+A manifest makes a sweep *resumable*: every completed task is appended as
+one JSON line keyed by the content hash of its task spec, payload
+included.  Re-launching the sweep with the same manifest skips finished
+tasks and replays their recorded payloads, so the aggregates of an
+interrupted-and-resumed sweep are identical to an uninterrupted run.
+
+File format (one JSON object per line):
+
+* header — ``{"type": "manifest", "version": 1, "created_unix": ...}``
+* success — ``{"type": "result", "status": "ok", "key": ..., "hash": ...,
+  "spec": {...}, "attempts": n, "elapsed": s, "payload": <encoded>}``
+* quarantine — ``{"type": "result", "status": "quarantined", "key": ...,
+  "hash": ..., "spec": {...}, "failure": {...}}``
+
+Quarantined records are journaled for the post-mortem but are **not**
+skipped on resume — a failed task is not finished work, so the re-launch
+tries it again.  A torn final line (the process was killed mid-write) is
+tolerated and ignored; corruption anywhere else raises
+:class:`repro.errors.ManifestError`.
+
+Payload encoding is JSON with tagged extensions — numpy arrays and a
+small allow-list of repro dataclasses round-trip exactly (floats via
+``repr``, so resumed aggregates are bit-identical):
+
+* ``{"__ndarray__": {"dtype": ..., "shape": ..., "data": ...}}``
+* ``{"__tuple__": [...]}``
+* ``{"__dataclass__": "module:Class", "fields": {...}}``
+
+Decoding instantiates only classes on the allow-list
+(:data:`PAYLOAD_TYPES`, extensible via :func:`register_payload_type`) —
+a manifest is data, not code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ManifestError
+from repro.exec.task import Task, TaskFailure
+
+MANIFEST_VERSION = 1
+"""Current manifest format version (checked on resume)."""
+
+PAYLOAD_TYPES = {
+    "repro.sim.results:EpisodeResult",
+    "repro.sim.robustness:RobustnessRow",
+    "repro.exec.task:TaskFailure",
+}
+"""``module:Class`` names the payload decoder may instantiate."""
+
+
+def register_payload_type(cls: type) -> type:
+    """Allow ``cls`` (a dataclass) in manifest payloads; returns ``cls``
+    so it can be used as a decorator."""
+    if not dataclasses.is_dataclass(cls):
+        raise ManifestError(
+            f"payload types must be dataclasses; got {cls!r}")
+    PAYLOAD_TYPES.add(f"{cls.__module__}:{cls.__qualname__}")
+    return cls
+
+
+def encode_payload(value: Any) -> Any:
+    """Encode a task result into JSON-serialisable form (see module doc)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not np.isfinite(value):
+            # JSON has no Infinity/NaN; tag them so decode is exact.
+            return {"__float__": repr(value)}
+        return value
+    if isinstance(value, np.generic):
+        return encode_payload(value.item())
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": {"dtype": str(value.dtype),
+                                "shape": list(value.shape),
+                                "data": value.tolist()}}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_payload(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_payload(v) for v in value]
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            raise ManifestError("payload dicts must have string keys")
+        return {k: encode_payload(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = f"{type(value).__module__}:{type(value).__qualname__}"
+        if name not in PAYLOAD_TYPES:
+            raise ManifestError(
+                f"payload type {name} is not registered "
+                "(register_payload_type)")
+        fields = {f.name: encode_payload(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__dataclass__": name, "fields": fields}
+    raise ManifestError(
+        f"cannot encode payload of type {type(value).__name__}")
+
+
+def decode_payload(value: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_payload(v) for v in value]
+    if isinstance(value, dict):
+        if "__float__" in value:
+            return float(value["__float__"])
+        if "__ndarray__" in value:
+            spec = value["__ndarray__"]
+            arr = np.asarray(spec["data"],
+                             dtype=np.dtype(spec["dtype"]))
+            return arr.reshape([int(s) for s in spec["shape"]])
+        if "__tuple__" in value:
+            return tuple(decode_payload(v) for v in value["__tuple__"])
+        if "__dataclass__" in value:
+            name = value["__dataclass__"]
+            if name not in PAYLOAD_TYPES:
+                raise ManifestError(
+                    f"manifest payload type {name} is not allowed")
+            module_name, _, qualname = name.partition(":")
+            cls = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                cls = getattr(cls, part)
+            fields = {k: decode_payload(v)
+                      for k, v in value["fields"].items()}
+            return cls(**fields)
+        return {k: decode_payload(v) for k, v in value.items()}
+    raise ManifestError(
+        f"cannot decode payload fragment of type {type(value).__name__}")
+
+
+class SweepManifest:
+    """Append-only journal of one sweep, optionally pre-loaded for resume.
+
+    ``resume=True`` loads every ``status == "ok"`` record so the
+    supervisor can skip finished tasks; new completions are appended to
+    the same file either way.  Opening an *existing* manifest without
+    ``resume=True`` raises — an append-only journal is never silently
+    overwritten or double-written.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False):
+        self.path = Path(path)
+        self._completed: Dict[str, Any] = {}
+        self._failed: Dict[str, TaskFailure] = {}
+        if self.path.exists():
+            if not resume:
+                raise ManifestError(
+                    f"manifest {self.path} already exists; pass resume=True "
+                    "(CLI: --resume) to continue it, or choose a fresh path")
+            self._load()
+        else:
+            if resume:
+                raise ManifestError(
+                    f"cannot resume: manifest {self.path} does not exist")
+            self._append({"type": "manifest", "version": MANIFEST_VERSION,
+                          "created_unix": time.time()})
+
+    # -- resume state ------------------------------------------------------
+
+    @property
+    def completed(self) -> Mapping[str, Any]:
+        """Decoded payloads of finished tasks, keyed by spec hash."""
+        return self._completed
+
+    @property
+    def quarantined(self) -> Mapping[str, TaskFailure]:
+        """Journaled failures keyed by spec hash (informational only —
+        resume re-runs these)."""
+        return self._failed
+
+    def payload_for(self, task: Task):
+        """``(True, payload)`` when ``task`` is already finished in this
+        manifest, else ``(False, None)``."""
+        h = task.hash
+        if h in self._completed:
+            return True, self._completed[h]
+        return False, None
+
+    # -- journaling --------------------------------------------------------
+
+    def record_success(self, task: Task, payload: Any, attempts: int,
+                       elapsed: float) -> None:
+        """Append one finished task, payload included."""
+        self._append({"type": "result", "status": "ok", "key": task.key,
+                      "hash": task.hash, "spec": dict(task.spec),
+                      "attempts": attempts, "elapsed": elapsed,
+                      "payload": encode_payload(payload)})
+        self._completed[task.hash] = payload
+
+    def record_failure(self, task: Task, failure: TaskFailure) -> None:
+        """Append one quarantined task (not skipped on resume)."""
+        self._append({"type": "result", "status": "quarantined",
+                      "key": task.key, "hash": task.hash,
+                      "spec": dict(task.spec),
+                      "failure": failure.to_json()})
+        self._failed[task.hash] = failure
+
+    # -- internals ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    # Torn final line: the previous run was killed
+                    # mid-append.  Everything before it is intact.
+                    break
+                raise ManifestError(
+                    f"{self.path}:{index + 1}: corrupt manifest record "
+                    f"({exc})") from exc
+            self._ingest(record, index + 1)
+
+    def _ingest(self, record: Mapping[str, Any], lineno: int) -> None:
+        kind = record.get("type")
+        if kind == "manifest":
+            version = record.get("version")
+            if version != MANIFEST_VERSION:
+                raise ManifestError(
+                    f"{self.path}: manifest version {version!r} is not "
+                    f"supported (expected {MANIFEST_VERSION})")
+            return
+        if kind != "result":
+            raise ManifestError(
+                f"{self.path}:{lineno}: unknown record type {kind!r}")
+        h = str(record.get("hash", ""))
+        if record.get("status") == "ok":
+            self._completed[h] = decode_payload(record.get("payload"))
+        elif record.get("status") == "quarantined":
+            self._failed[h] = TaskFailure.from_json(record.get("failure", {}))
+        else:
+            raise ManifestError(
+                f"{self.path}:{lineno}: unknown result status "
+                f"{record.get('status')!r}")

@@ -1,0 +1,398 @@
+"""Supervised task execution: worker isolation, timeouts, retry, quarantine.
+
+The :class:`Supervisor` runs a list of :class:`~repro.exec.task.Task`
+objects and *always* returns a :class:`SweepResult` — one hung solver or
+one raised ``NumericalError`` no longer destroys hours of completed
+work.  Failures become structured
+:class:`~repro.exec.task.TaskFailure` records; tasks that exhaust their
+retries land on the quarantine list; the sweep completes and reports
+coverage honestly.
+
+Execution modes
+---------------
+
+* **Serial in-process** (``jobs=1``, ``timeout=None`` — the default):
+  tasks run in submission order in the calling process, bit-identical to
+  a plain for-loop.  This is the mode the batch and robustness runners
+  use unless told otherwise.
+* **Isolated workers** (``jobs > 1`` or any ``timeout``): each attempt
+  runs in its own forked worker process, so a crash (segfault, OOM kill)
+  or a hang cannot take the sweep down — a hung worker is killed when
+  its wall-clock ``timeout`` expires.  Fork semantics mean task closures
+  never need pickling; only *results* cross the process boundary.
+
+Retries use exponential backoff with deterministic jitter
+(:class:`BackoffPolicy`): the delay for ``(task key, attempt)`` is a pure
+function, so a re-run schedules identically.
+
+With a :class:`~repro.exec.manifest.SweepManifest` attached, every
+completion is journaled; a manifest opened with ``resume=True`` replays
+finished tasks instead of re-running them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback as traceback_module
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec.manifest import SweepManifest
+from repro.exec.task import Task, TaskFailure
+
+_POLL_CAP = 0.5
+"""Upper bound on one scheduler wait, s (keeps deadline checks timely)."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential retry backoff with deterministic jitter.
+
+    The delay before retry ``attempt`` (1-based count of failed
+    attempts) is ``base * factor**(attempt-1)``, inflated by up to
+    ``jitter`` fraction using a uniform draw derived from
+    ``sha256(key:attempt)`` — deterministic per (task, attempt), but
+    decorrelated across tasks so a retried fleet does not stampede.
+    """
+
+    base: float = 0.05
+    """First-retry delay, s."""
+
+    factor: float = 2.0
+    """Multiplier applied per additional failed attempt."""
+
+    jitter: float = 0.25
+    """Maximum fractional inflation of the delay."""
+
+    max_delay: float = 5.0
+    """Ceiling on any single delay, s."""
+
+    def __post_init__(self):
+        if self.base < 0 or self.factor < 1.0 or not (0 <= self.jitter <= 1) \
+                or self.max_delay < 0:
+            raise ConfigurationError(
+                "backoff needs base >= 0, factor >= 1, jitter in [0, 1], "
+                "max_delay >= 0")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Deterministic delay before retrying ``key`` after ``attempt``
+        failed attempts."""
+        if attempt < 1:
+            raise ConfigurationError("attempt counts are 1-based")
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).hexdigest()
+        unit = int(digest[:8], 16) / float(0xFFFFFFFF)
+        raw = self.base * self.factor ** (attempt - 1)
+        return min(raw * (1.0 + self.jitter * unit), self.max_delay)
+
+
+@dataclass
+class SweepResult:
+    """Everything one supervised sweep produced, including what it lost."""
+
+    planned: List[str] = field(default_factory=list)
+    """Keys of every task submitted, in submission order."""
+
+    results: Dict[str, Any] = field(default_factory=dict)
+    """Payloads of completed tasks (resumed ones included), by key."""
+
+    failures: List[TaskFailure] = field(default_factory=list)
+    """Quarantine list: one record per task that exhausted its retries."""
+
+    resumed: List[str] = field(default_factory=list)
+    """Keys replayed from the manifest instead of executed."""
+
+    attempts: Dict[str, int] = field(default_factory=dict)
+    """Attempts spent per executed task (0 for resumed tasks)."""
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Keys of the quarantined tasks."""
+        return [f.key for f in self.failures]
+
+    @property
+    def coverage(self) -> float:
+        """Completed fraction of the planned sweep (1.0 when empty)."""
+        if not self.planned:
+            return 1.0
+        return len(self.results) / len(self.planned)
+
+    def describe_coverage(self) -> str:
+        """One-line honest coverage statement."""
+        done = len(self.results)
+        text = f"{done}/{len(self.planned)} tasks completed"
+        if self.resumed:
+            text += f" ({len(self.resumed)} resumed from manifest)"
+        if self.failures:
+            text += f", {len(self.failures)} quarantined"
+        return text
+
+
+class Supervisor:
+    """Fault-tolerant executor for independent tasks (see module doc)."""
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 0, backoff: Optional[BackoffPolicy] = None,
+                 manifest: Optional[SweepManifest] = None,
+                 failure_mode: str = "quarantine"):
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ConfigurationError(f"jobs must be a positive int, "
+                                     f"got {jobs!r}")
+        if timeout is not None and not timeout > 0:
+            raise ConfigurationError(f"timeout must be positive, "
+                                     f"got {timeout!r}")
+        if not isinstance(retries, int) or retries < 0:
+            raise ConfigurationError(f"retries must be a non-negative int, "
+                                     f"got {retries!r}")
+        if failure_mode not in ("quarantine", "raise"):
+            raise ConfigurationError(
+                f"failure_mode must be 'quarantine' or 'raise', "
+                f"got {failure_mode!r}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy()
+        self.manifest = manifest
+        self.failure_mode = failure_mode
+
+    @property
+    def isolated(self) -> bool:
+        """True when attempts run in forked worker processes."""
+        return self.jobs > 1 or self.timeout is not None
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, tasks: Sequence[Task]) -> SweepResult:
+        """Execute ``tasks``, surviving per-task failures.
+
+        Returns a :class:`SweepResult`; raises only on misconfiguration
+        (duplicate keys, isolation unavailable) or, in
+        ``failure_mode="raise"``, on the first quarantined task.
+        """
+        keys = [t.key for t in tasks]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ExecutionError(f"duplicate task keys: {dupes}")
+        sweep = SweepResult(planned=keys)
+        todo: List[Task] = []
+        for task in tasks:
+            if self.manifest is not None:
+                found, payload = self.manifest.payload_for(task)
+                if found:
+                    sweep.results[task.key] = payload
+                    sweep.resumed.append(task.key)
+                    sweep.attempts[task.key] = 0
+                    continue
+            todo.append(task)
+        if not todo:
+            return sweep
+        if self.isolated:
+            self._check_isolation_available()
+            self._run_isolated(todo, sweep)
+        else:
+            self._run_serial(todo, sweep)
+        return sweep
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _record_success(self, sweep: SweepResult, task: Task, value: Any,
+                        attempts: int, elapsed: float) -> None:
+        sweep.results[task.key] = value
+        sweep.attempts[task.key] = attempts
+        if self.manifest is not None:
+            self.manifest.record_success(task, value, attempts, elapsed)
+
+    def _record_failure(self, sweep: SweepResult, task: Task,
+                        failure: TaskFailure,
+                        cause: Optional[BaseException] = None) -> None:
+        sweep.failures.append(failure)
+        sweep.attempts[task.key] = failure.attempts
+        if self.manifest is not None:
+            self.manifest.record_failure(task, failure)
+        if self.failure_mode == "raise":
+            if cause is not None:
+                raise cause
+            raise ExecutionError(failure.describe())
+
+    # -- serial in-process mode --------------------------------------------
+
+    def _run_serial(self, todo: Sequence[Task], sweep: SweepResult) -> None:
+        for task in todo:
+            attempt = 0
+            while True:
+                attempt += 1
+                start = time.monotonic()
+                try:
+                    value = task.fn()
+                except Exception as exc:
+                    elapsed = time.monotonic() - start
+                    if attempt <= self.retries:
+                        time.sleep(self.backoff.delay(task.key, attempt))
+                        continue
+                    failure = TaskFailure(
+                        key=task.key, kind="error",
+                        exception_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback_module.format_exc(),
+                        attempts=attempt, elapsed=elapsed)
+                    # In raise mode the *original* exception propagates,
+                    # preserving the pre-supervisor serial-loop contract.
+                    self._record_failure(sweep, task, failure, cause=exc)
+                    break
+                self._record_success(sweep, task, value, attempt,
+                                     time.monotonic() - start)
+                break
+
+    # -- isolated worker mode ----------------------------------------------
+
+    @staticmethod
+    def _check_isolation_available() -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ExecutionError(
+                "worker isolation needs the 'fork' start method, which "
+                "this platform lacks; use jobs=1 with no timeout")
+
+    def _run_isolated(self, todo: Sequence[Task],
+                      sweep: SweepResult) -> None:
+        ctx = multiprocessing.get_context("fork")
+        pending = deque((task, 1, 0.0) for task in todo)
+        running: List[_WorkerSlot] = []
+        try:
+            while pending or running:
+                now = time.monotonic()
+                self._launch_ready(ctx, pending, running, now)
+                self._wait(pending, running, now)
+                now = time.monotonic()
+                self._reap(pending, running, sweep, now)
+        finally:
+            for slot in running:
+                slot.kill()
+
+    def _launch_ready(self, ctx, pending, running: List["_WorkerSlot"],
+                      now: float) -> None:
+        while len(running) < self.jobs:
+            index = next((i for i, (_, _, ready) in enumerate(pending)
+                          if ready <= now), None)
+            if index is None:
+                break
+            task, attempt, _ = pending[index]
+            del pending[index]
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_entry,
+                               args=(task.fn, child_conn), daemon=True)
+            proc.start()
+            child_conn.close()
+            deadline = now + self.timeout if self.timeout else None
+            running.append(_WorkerSlot(task=task, attempt=attempt,
+                                       proc=proc, conn=parent_conn,
+                                       started=now, deadline=deadline))
+
+    def _wait(self, pending, running: List["_WorkerSlot"],
+              now: float) -> None:
+        waits = [_POLL_CAP]
+        waits += [slot.deadline - now for slot in running
+                  if slot.deadline is not None]
+        if len(running) < self.jobs:
+            waits += [ready - now for (_, _, ready) in pending]
+        wait = max(min(waits), 0.0)
+        if running:
+            mp_connection.wait([slot.conn for slot in running],
+                               timeout=wait)
+        elif wait > 0:
+            time.sleep(wait)
+
+    def _reap(self, pending, running: List["_WorkerSlot"],
+              sweep: SweepResult, now: float) -> None:
+        ready = mp_connection.wait([slot.conn for slot in running],
+                                   timeout=0) if running else []
+        for slot in list(running):
+            if slot.conn in ready:
+                outcome = slot.collect()
+            elif slot.deadline is not None and now >= slot.deadline:
+                slot.kill()
+                outcome = ("timeout", "", f"no result within "
+                           f"{self.timeout:g}s wall-clock; worker killed",
+                           "")
+            else:
+                continue
+            running.remove(slot)
+            elapsed = time.monotonic() - slot.started
+            if outcome[0] == "ok":
+                self._record_success(sweep, slot.task, outcome[1],
+                                     slot.attempt, elapsed)
+                continue
+            kind, exception_type, message, tb = outcome
+            if slot.attempt <= self.retries:
+                delay = self.backoff.delay(slot.task.key, slot.attempt)
+                pending.append((slot.task, slot.attempt + 1, now + delay))
+                continue
+            self._record_failure(sweep, slot.task, TaskFailure(
+                key=slot.task.key, kind=kind,
+                exception_type=exception_type, message=message,
+                traceback=tb, attempts=slot.attempt, elapsed=elapsed))
+
+
+@dataclass
+class _WorkerSlot:
+    """One live worker process and its bookkeeping."""
+
+    task: Task
+    attempt: int
+    proc: multiprocessing.Process
+    conn: mp_connection.Connection
+    started: float
+    deadline: Optional[float]
+
+    def collect(self):
+        """Drain the worker's report; classify a silent death as a crash."""
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError):
+            self.proc.join(timeout=5.0)
+            code = self.proc.exitcode
+            message = ("crash", "",
+                       f"worker died without reporting (exit code {code})",
+                       "")
+        else:
+            self.proc.join(timeout=5.0)
+        self.conn.close()
+        if self.proc.is_alive():
+            self.proc.kill()
+        return message
+
+    def kill(self) -> None:
+        """Forcibly stop the worker (timeout or sweep teardown)."""
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+        self.conn.close()
+
+
+def _worker_entry(fn, conn) -> None:
+    """Forked worker body: run the task, report exactly one message."""
+    try:
+        value = fn()
+    except BaseException as exc:
+        try:
+            conn.send(("error", type(exc).__name__, str(exc),
+                       traceback_module.format_exc()))
+        except Exception:  # containment: pipe gone; parent reports a crash
+            pass
+        return
+    try:
+        conn.send(("ok", value, "", ""))
+    except Exception as exc:
+        try:
+            conn.send(("error", type(exc).__name__,
+                       f"task result could not cross the process "
+                       f"boundary: {exc}", traceback_module.format_exc()))
+        except Exception:  # containment: pipe gone; parent reports a crash
+            pass

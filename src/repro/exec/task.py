@@ -1,0 +1,114 @@
+"""Task descriptions and failure records for the supervised executor.
+
+A :class:`Task` bundles a zero-argument callable with a *spec*: a small
+JSON-serialisable mapping that identifies the work (cycle name, seed,
+scenario, ...).  The spec — never the callable — is what the sweep
+manifest keys on, so a re-launched sweep recognises finished work even
+though the callables are rebuilt from scratch.
+
+A :class:`TaskFailure` is the structured record the supervisor produces
+instead of letting a worker exception (or hang, or hard crash) destroy
+the sweep: exception class, message, traceback, failure kind, and how
+many attempts were spent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError
+
+
+def spec_hash(spec: Mapping[str, Any]) -> str:
+    """Stable content hash of a task spec (16 hex chars).
+
+    The spec is serialised as canonical JSON (sorted keys, no
+    whitespace), so hashing is independent of dict insertion order and of
+    the process that produced it.
+    """
+    try:
+        canonical = json.dumps(dict(spec), sort_keys=True,
+                               separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"task spec is not JSON-serialisable: {exc}") from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of supervised work."""
+
+    key: str
+    """Human-readable identifier, unique within a sweep."""
+
+    fn: Callable[[], Any]
+    """Zero-argument callable performing the work and returning the
+    result payload.  Closures are fine: parallel workers are forked, so
+    the callable never needs to be pickled — only its *return value*
+    does."""
+
+    spec: Mapping[str, Any] = field(default_factory=dict)
+    """JSON-serialisable description of the work, used for manifest
+    keying (see :func:`spec_hash`)."""
+
+    @property
+    def hash(self) -> str:
+        """Content hash of :attr:`spec`."""
+        return spec_hash(self.spec)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that did not produce a result."""
+
+    key: str
+    """Key of the failed task."""
+
+    kind: str
+    """Failure taxonomy: ``"error"`` (worker raised), ``"crash"`` (worker
+    died without reporting — segfault, ``os._exit``, OOM kill),
+    ``"timeout"`` (wall-clock limit hit, worker killed), or ``"skipped"``
+    (a prerequisite task was quarantined, so this one never ran)."""
+
+    exception_type: str
+    """Exception class name (``""`` for crash/timeout/skipped)."""
+
+    message: str
+    """Exception message or a one-line description of the crash."""
+
+    traceback: str
+    """Formatted worker traceback (``""`` when none was captured)."""
+
+    attempts: int
+    """Attempts spent before quarantining (1 = no retry succeeded
+    because none was configured)."""
+
+    elapsed: float
+    """Wall-clock seconds spent on the final attempt."""
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        cause = self.exception_type or self.kind
+        return (f"{self.key}: {self.kind} after {self.attempts} attempt(s) "
+                f"({cause}: {self.message})")
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (manifest journaling)."""
+        return {"key": self.key, "kind": self.kind,
+                "exception_type": self.exception_type,
+                "message": self.message, "traceback": self.traceback,
+                "attempts": self.attempts, "elapsed": self.elapsed}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TaskFailure":
+        """Inverse of :meth:`to_json`."""
+        return cls(key=str(data["key"]), kind=str(data["kind"]),
+                   exception_type=str(data.get("exception_type", "")),
+                   message=str(data.get("message", "")),
+                   traceback=str(data.get("traceback", "")),
+                   attempts=int(data.get("attempts", 1)),
+                   elapsed=float(data.get("elapsed", 0.0)))

@@ -57,7 +57,7 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
     except BaseException:
         try:
             os.unlink(tmp)
-        except OSError:
+        except OSError:  # containment: best-effort tmp cleanup; the original error re-raises below
             pass
         raise
 

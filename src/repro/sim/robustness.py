@@ -17,18 +17,25 @@ run is scored against the same controller's healthy drive:
 
 Every run must complete with finite traces — the simulator's numerical
 watchdog guarantees an exception, not a silent NaN, otherwise.
+
+The grid executes through the supervised executor (:mod:`repro.exec`).
+The default is the historical serial in-process loop; pass a
+:class:`~repro.exec.Supervisor` to parallelise across isolated workers
+and to survive individual run failures — quarantined runs are reported
+in :attr:`RobustnessReport.failures` and the table covers the rest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping
+from typing import List, Mapping, Optional
 
 import numpy as np
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
 from repro.errors import ConfigurationError
+from repro.exec import Supervisor, Task, TaskFailure
 from repro.faults.harness import FaultHarness
 from repro.faults.scenarios import Scenario
 from repro.sim.results import EpisodeResult
@@ -77,7 +84,22 @@ class RobustnessReport:
     """All rows of one robustness sweep."""
 
     rows: List[RobustnessRow] = field(default_factory=list)
-    """One row per (controller, scenario) pair, healthy rows included."""
+    """One row per *surviving* (controller, scenario) run, healthy rows
+    included."""
+
+    failures: List[TaskFailure] = field(default_factory=list)
+    """Quarantined runs (and runs skipped because their healthy reference
+    was quarantined); empty for an all-successful sweep."""
+
+    planned: int = 0
+    """Runs the sweep set out to perform (0 for hand-built reports)."""
+
+    @property
+    def coverage(self) -> float:
+        """Surviving fraction of the planned grid (1.0 when hand-built)."""
+        if self.planned <= 0:
+            return 1.0
+        return len(self.rows) / self.planned
 
     def for_scenario(self, scenario: str) -> List[RobustnessRow]:
         """Rows of one scenario across controllers."""
@@ -108,6 +130,12 @@ class RobustnessReport:
                 f"{row.window_violations:8d} {row.fallback_steps:9d} "
                 f"{row.faulted_steps:8d} {row.fault_activations:6d} "
                 f"{row.final_soc:6.2f}")
+        if self.failures:
+            lines.append("")
+            lines.append(f"coverage: {len(self.rows)}/{self.planned} runs "
+                         f"({len(self.failures)} quarantined)")
+            for failure in self.failures:
+                lines.append(f"  quarantined: {failure.describe()}")
         return "\n".join(lines)
 
 
@@ -131,11 +159,44 @@ def _row(name: str, scenario: str, result: EpisodeResult, healthy_mpg: float,
         finite=_finite(result))
 
 
+def _healthy_run(simulator: Simulator, name: str, controller: Controller,
+                 cycle: DriveCycle, initial_soc: float,
+                 soc_min: float, soc_max: float) -> RobustnessRow:
+    """Fault-free reference drive of one controller → its healthy row."""
+    healthy = simulator.run_episode(controller, cycle,
+                                    initial_soc=initial_soc,
+                                    learn=False, greedy=True)
+    return _row(name, _HEALTHY, healthy, healthy.corrected_mpg(),
+                soc_min, soc_max, activations=0)
+
+
+def _faulted_run(simulator: Simulator, name: str, controller: Controller,
+                 scenario_name: str, scenario: Scenario, cycle: DriveCycle,
+                 initial_soc: float, seed: int, healthy_mpg: float,
+                 soc_min: float, soc_max: float) -> RobustnessRow:
+    """One degraded-mode drive → its scored row."""
+    harness = FaultHarness(simulator.solver, scenario.schedule, seed=seed)
+    result = simulator.run_episode(controller, cycle,
+                                   initial_soc=initial_soc,
+                                   learn=False, greedy=True,
+                                   faults=harness)
+    return _row(name, scenario_name, result, healthy_mpg,
+                soc_min, soc_max, activations=harness.activations)
+
+
+def _task_spec(kind: str, name: str, scenario: str, cycle: DriveCycle,
+               initial_soc: float, seed: int) -> dict:
+    return {"kind": kind, "controller": name, "scenario": scenario,
+            "cycle": cycle.name, "initial_soc": float(initial_soc),
+            "seed": int(seed)}
+
+
 def run_robustness(simulator: Simulator,
                    controllers: Mapping[str, Controller],
                    scenarios: Mapping[str, Scenario],
                    cycle: DriveCycle, initial_soc: float = 0.60,
-                   seed: int = 0) -> RobustnessReport:
+                   seed: int = 0,
+                   executor: Optional[Supervisor] = None) -> RobustnessReport:
     """Evaluate every controller under every fault scenario.
 
     ``controllers`` maps names to *prepared* controllers bound to the
@@ -144,29 +205,73 @@ def run_robustness(simulator: Simulator,
     for its reference figures, then once per scenario; ``seed`` fixes the
     fault realisation (sensor noise, dropouts) across controllers so the
     comparison is paired.
+
+    ``executor`` selects the execution strategy (see :mod:`repro.exec`).
+    ``None`` keeps the historical serial in-process loop, failures
+    raising.  A quarantine-mode :class:`~repro.exec.Supervisor` runs the
+    grid fault-tolerantly (optionally in parallel workers): the healthy
+    references run first, then every (controller, scenario) cell;
+    quarantined cells — and cells skipped because their healthy reference
+    was lost — are reported in :attr:`RobustnessReport.failures`.
     """
     if not controllers:
         raise ConfigurationError("need at least one controller")
     if not scenarios:
         raise ConfigurationError("need at least one fault scenario")
+    if executor is None:
+        executor = Supervisor(failure_mode="raise")
     battery = simulator.solver.params.battery
     soc_min, soc_max = battery.soc_min, battery.soc_max
-    report = RobustnessReport()
+
+    healthy_tasks = [
+        Task(key=f"{name}/{_HEALTHY}",
+             spec=_task_spec("robustness-healthy", name, _HEALTHY, cycle,
+                             initial_soc, seed),
+             fn=lambda name=name, controller=controller: _healthy_run(
+                 simulator, name, controller, cycle, initial_soc,
+                 soc_min, soc_max))
+        for name, controller in controllers.items()]
+    healthy_sweep = executor.run(healthy_tasks)
+
+    report = RobustnessReport(
+        planned=len(controllers) * (len(scenarios) + 1),
+        failures=list(healthy_sweep.failures))
+    faulted_tasks = []
     for name, controller in controllers.items():
-        healthy = simulator.run_episode(controller, cycle,
-                                        initial_soc=initial_soc,
-                                        learn=False, greedy=True)
-        healthy_mpg = healthy.corrected_mpg()
-        report.rows.append(_row(name, _HEALTHY, healthy, healthy_mpg,
-                                soc_min, soc_max, activations=0))
+        healthy_row = healthy_sweep.results.get(f"{name}/{_HEALTHY}")
+        if healthy_row is None:
+            # The reference drive was quarantined: retention is undefined
+            # for this controller, so its grid cells are skipped — and
+            # said so, instead of silently shrinking the table.
+            report.failures.extend(
+                TaskFailure(key=f"{name}/{scenario_name}", kind="skipped",
+                            exception_type="", traceback="", attempts=0,
+                            elapsed=0.0,
+                            message="healthy reference was quarantined")
+                for scenario_name in scenarios)
+            continue
+        healthy_mpg = healthy_row.corrected_mpg
         for scenario_name, scenario in scenarios.items():
-            harness = FaultHarness(simulator.solver, scenario.schedule,
-                                   seed=seed)
-            result = simulator.run_episode(controller, cycle,
-                                           initial_soc=initial_soc,
-                                           learn=False, greedy=True,
-                                           faults=harness)
-            report.rows.append(_row(name, scenario_name, result, healthy_mpg,
-                                    soc_min, soc_max,
-                                    activations=harness.activations))
+            faulted_tasks.append(Task(
+                key=f"{name}/{scenario_name}",
+                spec=_task_spec("robustness", name, scenario_name, cycle,
+                                initial_soc, seed),
+                fn=lambda name=name, controller=controller,
+                scenario_name=scenario_name, scenario=scenario,
+                healthy_mpg=healthy_mpg: _faulted_run(
+                    simulator, name, controller, scenario_name, scenario,
+                    cycle, initial_soc, seed, healthy_mpg,
+                    soc_min, soc_max)))
+    faulted_sweep = executor.run(faulted_tasks)
+    report.failures.extend(faulted_sweep.failures)
+
+    for name in controllers:
+        healthy_row = healthy_sweep.results.get(f"{name}/{_HEALTHY}")
+        if healthy_row is None:
+            continue
+        report.rows.append(healthy_row)
+        for scenario_name in scenarios:
+            row = faulted_sweep.results.get(f"{name}/{scenario_name}")
+            if row is not None:
+                report.rows.append(row)
     return report

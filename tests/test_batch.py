@@ -5,8 +5,10 @@ import pytest
 from repro.control import RuleBasedController
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import CycleSpec, synthesize
+from repro.errors import ConfigurationError
 from repro.powertrain import PowertrainSolver
 from repro.sim import BatchResult, Summary, compare_batches, run_batch
+from repro.sim.results import EpisodeResult
 from repro.vehicle import default_vehicle
 
 
@@ -75,6 +77,50 @@ class TestRunBatch:
         with pytest.raises(ValueError):
             BatchResult().summarize()
 
+    def test_forwards_repetition_seed_to_train(self, cycle, monkeypatch):
+        """Regression: every repetition must train with its own seed.
+
+        Before the fix, ``run_batch`` never passed ``seed`` to ``train``,
+        so all repetitions drew the same exploring-start SoC sequence
+        from seed 0 — silently narrowing the error bars the batch runner
+        exists to report.
+        """
+        seen = []
+        real_train = __import__("repro.sim.batch",
+                                fromlist=["train"]).train
+
+        def spy_train(simulator, controller, cycle, **kwargs):
+            seen.append(kwargs.get("seed"))
+            return real_train(simulator, controller, cycle, **kwargs)
+
+        monkeypatch.setattr("repro.sim.batch.train", spy_train)
+        run_batch(lambda solver, seed: RuleBasedController(solver),
+                  lambda: PowertrainSolver(default_vehicle()),
+                  cycle, seeds=[7, 11], episodes=1)
+        assert seen == [7, 11]
+
+    def test_rl_exploring_starts_differ_across_seeds(self, cycle):
+        """The seed actually changes the training trajectory: with
+        nonzero SoC jitter, repetitions started from different seeds must
+        not train on bit-identical exploring starts."""
+        batch = run_batch(
+            lambda solver, seed: build_rl_controller(solver, seed=0),
+            lambda: PowertrainSolver(default_vehicle()),
+            cycle, seeds=[3, 4], episodes=2)
+        a, b = batch.evaluations
+        # Identical controller seed, different repetition seeds: any
+        # difference can only come from the forwarded training seed.
+        assert (a.total_fuel, a.final_soc) != (b.total_fuel, b.final_soc)
+
+    def test_batch_reports_full_coverage(self, cycle):
+        batch = run_batch(lambda s, seed: RuleBasedController(s),
+                          lambda: PowertrainSolver(default_vehicle()),
+                          cycle, seeds=[0, 1], episodes=1)
+        assert batch.planned == 2
+        assert batch.coverage == 1.0
+        assert batch.failures == []
+        assert all(isinstance(e, EpisodeResult) for e in batch.evaluations)
+
 
 class TestCompareBatches:
     def test_identical_batches_zero_diff(self, cycle):
@@ -84,10 +130,10 @@ class TestCompareBatches:
             cycle, seeds=[0], episodes=1)
         assert compare_batches(make(), make()) == pytest.approx(0.0)
 
-    def test_unknown_metric_raises(self, cycle):
+    def test_unknown_metric_raises_structured(self, cycle):
         batch = run_batch(
             lambda solver, seed: RuleBasedController(solver),
             lambda: PowertrainSolver(default_vehicle()),
             cycle, seeds=[0], episodes=1)
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
             compare_batches(batch, batch, metric="nope")

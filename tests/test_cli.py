@@ -66,6 +66,49 @@ class TestCompareCommand:
         assert "thermostat" in out
 
 
+class TestSweepCommand:
+    def test_serial_sweep_reports_coverage(self, capsys):
+        assert main(["sweep", "--cycle", "SC03", "--repeats", "1",
+                     "--controllers", "rule-based",
+                     "--scenarios", "aux_spike"]) == 0
+        out = capsys.readouterr().out
+        assert "Robustness sweep" in out
+        assert "coverage: 2/2 runs, nothing quarantined" in out
+
+    def test_parallel_sweep_with_manifest_and_resume(self, tmp_path,
+                                                     capsys):
+        manifest = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--cycle", "SC03", "--repeats", "1",
+                "--controllers", "rule-based", "--scenarios", "aux_spike",
+                "--jobs", "2", "--retries", "1"]
+        assert main(argv + ["--manifest", str(manifest)]) == 0
+        first = capsys.readouterr().out
+        assert manifest.exists()
+        assert main(argv + ["--resume", str(manifest)]) == 0
+        second = capsys.readouterr().out
+        # The resumed sweep replays the manifest: identical table.
+        assert second.splitlines()[-10:] == first.splitlines()[-10:]
+
+    def test_zero_jobs_is_structured_error(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_resume_missing_manifest_is_structured_error(self, tmp_path,
+                                                         capsys):
+        assert main(["sweep",
+                     "--resume", str(tmp_path / "missing.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_manifest_and_resume_conflict(self, tmp_path, capsys):
+        assert main(["sweep", "--manifest", str(tmp_path / "a.jsonl"),
+                     "--resume", str(tmp_path / "a.jsonl")]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_controller_is_structured_error(self, capsys):
+        assert main(["sweep", "--controllers", "warp-drive"]) == 2
+        assert "unknown controller" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
