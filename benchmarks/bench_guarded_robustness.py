@@ -1,0 +1,115 @@
+"""Guarded robustness bench — the safety supervisor in the loop.
+
+The same controllers-×-scenarios grid as the plain robustness bench, but
+every run drives through a :class:`repro.safety.SafetySupervisor`, and
+the scenario set adds one deliberately catastrophic failure (near-total
+ICE and EM loss plus a stuck heater) that the built-in studies avoid on
+purpose — the built-ins must stay drivable, this one must force the
+supervisor through its whole escalation ladder.
+
+Asserted invariants:
+
+* full coverage — every guarded run either completes or halts
+  *structurally*; nothing dies with an unstructured exception,
+* mild faults stay cheap — under the built-in scenarios the supervisor
+  never leaves NOMINAL for the prepared controllers (interventions are
+  the exception, not the tax),
+* the catastrophic scenario ends in LIMP_HOME with the fallback still
+  producing a usable drive (nonzero limp-home MPG retention).
+"""
+
+import os
+
+import pytest
+
+from benchmarks.common import SEED, ablation_episodes, report
+from repro.control import RuleBasedController
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import standard_cycle
+from repro.exec import Supervisor
+from repro.faults import builtin_scenarios
+from repro.faults.models import (
+    AuxLoadSpike,
+    BatteryFade,
+    EnginePowerLoss,
+    MotorDerating,
+)
+from repro.faults.scenarios import Scenario
+from repro.faults.schedule import FaultSchedule, ScheduledFault
+from repro.powertrain import PowertrainSolver
+from repro.safety import SupervisorConfig
+from repro.sim import Simulator, run_robustness, train
+from repro.vehicle import default_vehicle
+
+
+def catastrophic_scenario() -> Scenario:
+    """Near-total powertrain loss at t=40 s (not a built-in: the built-in
+    studies must stay drivable; this one must not)."""
+    return Scenario(
+        "catastrophic",
+        "simultaneous near-total ICE and EM loss with a stuck heater",
+        FaultSchedule([
+            ScheduledFault(EnginePowerLoss(power_loss=0.95), start=40.0),
+            ScheduledFault(MotorDerating(power_derate=0.95,
+                                         torque_derate=0.95),
+                           start=40.0, ramp=10.0),
+            ScheduledFault(BatteryFade(capacity_loss=0.9,
+                                       resistance_growth=4.0),
+                           start=40.0, ramp=10.0),
+            ScheduledFault(AuxLoadSpike(extra_power=2500.0), start=40.0),
+        ]))
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_guarded_robustness_sweep(benchmark):
+    cycle = standard_cycle("NYCC")
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+
+    rl = build_rl_controller(solver, seed=SEED)
+    train(simulator, rl, cycle, episodes=ablation_episodes(15),
+          evaluate_after=False)
+    controllers = {
+        "rl (proposed)": rl,
+        "rule-based": RuleBasedController(solver),
+    }
+    scenarios = dict(builtin_scenarios())
+    severe = catastrophic_scenario()
+    scenarios[severe.name] = severe
+
+    config = SupervisorConfig(escalate_after=2, recover_after=10_000,
+                              infeasible_warn_after=3,
+                              infeasible_severe_after=8,
+                              soc_warn_after=5, soc_severe_after=30)
+    executor = Supervisor(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+                          failure_mode="quarantine")
+    sweep = {}
+
+    def run_sweep():
+        sweep["report"] = run_robustness(simulator, controllers, scenarios,
+                                         cycle, seed=SEED, executor=executor,
+                                         guard=True,
+                                         supervisor_config=config)
+        return sweep["report"]
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = sweep["report"]
+    report("guarded_robustness", result.render())
+
+    assert not result.failures, [f.describe() for f in result.failures]
+    assert result.coverage == 1.0
+    for row in result.rows:
+        assert row.finite, f"{row.controller}/{row.scenario} went non-finite"
+        assert row.time_in_mode is not None, "guarded rows carry modes"
+        if row.scenario == severe.name:
+            assert row.final_mode == "LIMP_HOME", (
+                f"{row.controller} ended {severe.name} in {row.final_mode}")
+        else:
+            # Built-in faults are survivable: the guard must ride along
+            # without escalating the prepared controllers.
+            assert row.final_mode == "NOMINAL", (
+                f"{row.controller}/{row.scenario} ended in {row.final_mode}")
+    # The fallback keeps the limped vehicle usable — and not free: the
+    # catastrophic plant cannot match healthy fuel economy.
+    retention = result.limp_home_retention()
+    assert 0.0 < retention <= 1.5, retention

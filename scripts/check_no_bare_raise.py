@@ -24,12 +24,14 @@ API_BOUNDARY_MODULES = [
     "src/repro/exec/*.py",
     "src/repro/faults/*.py",
     "src/repro/sim/*.py",
+    "src/repro/safety/*.py",
     "src/repro/rl/persistence.py",
     "src/repro/rl/qtable.py",
     "src/repro/rl/reward.py",
     "src/repro/powertrain/solver.py",
     "src/repro/powertrain/operating_point.py",
     "src/repro/cycles/cycle.py",
+    "src/repro/cycles/io.py",
     "src/repro/vehicle/battery.py",
     "src/repro/vehicle/auxiliary.py",
 ]

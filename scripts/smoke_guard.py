@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI smoke test: the safety supervisor must ride through a severe fault.
+
+Drives one UDDS episode with a deliberately brutal mid-cycle fault — the
+engine and motor both lose most of their rating while an unsheddable
+auxiliary load appears — under a :class:`repro.safety.SafetySupervisor`
+with hair-trigger monitor thresholds.  The run must
+
+1. complete the full cycle (no unstructured exception),
+2. escalate out of NOMINAL and finish the drive in LIMP_HOME on the
+   rule-based fallback,
+3. keep every trace finite and report a nonzero corrected MPG.
+
+This scenario is intentionally *not* one of the built-in studies: the
+built-ins model survivable degradation (the retention benchmark asserts
+they stay drivable), whereas this one exists to prove the supervisor's
+escalation path end to end.  Exits non-zero with a message on the first
+broken invariant.  Run from anywhere: ``python scripts/smoke_guard.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import default_vehicle  # noqa: E402
+from repro.control import RuleBasedController  # noqa: E402
+from repro.cycles import udds  # noqa: E402
+from repro.faults.models import (  # noqa: E402
+    AuxLoadSpike,
+    EnginePowerLoss,
+    MotorDerating,
+)
+from repro.faults.scenarios import Scenario  # noqa: E402
+from repro.faults.schedule import FaultSchedule, ScheduledFault  # noqa: E402
+from repro.powertrain.solver import PowertrainSolver  # noqa: E402
+from repro.safety import SafetySupervisor, SupervisorConfig  # noqa: E402
+from repro.sim import Simulator, evaluate  # noqa: E402
+
+
+def severe_scenario() -> Scenario:
+    """A catastrophic combined failure striking at t=40 s."""
+    return Scenario(
+        "smoke_catastrophic",
+        "simultaneous near-total ICE and EM loss with a stuck heater",
+        FaultSchedule([
+            ScheduledFault(EnginePowerLoss(power_loss=0.9), start=40.0),
+            ScheduledFault(MotorDerating(power_derate=0.9,
+                                         torque_derate=0.9),
+                           start=40.0, ramp=10.0),
+            ScheduledFault(AuxLoadSpike(extra_power=1500.0), start=40.0),
+        ]))
+
+
+def main() -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    # Hair-trigger thresholds: the smoke run must escalate within a few
+    # seconds of the fault, and must not recover before the cycle ends.
+    config = SupervisorConfig(escalate_after=2, recover_after=10_000,
+                              infeasible_warn_after=3,
+                              infeasible_severe_after=8,
+                              soc_warn_after=5, soc_severe_after=30)
+    supervisor = SafetySupervisor(RuleBasedController(solver), solver,
+                                  config=config)
+    result = evaluate(simulator, supervisor, udds(),
+                      faults=severe_scenario().schedule)
+
+    report = result.safety
+    assert report is not None, "episode result carries no safety report"
+    assert not report.halted, "supervisor halted instead of limping home"
+    assert report.final_mode == "LIMP_HOME", (
+        f"expected the drive to end in LIMP_HOME, got {report.final_mode} "
+        f"(time in mode: {report.time_in_mode()})")
+    assert report.interventions > 0, "no guard interventions were recorded"
+    assert any(t.target == "LIMP_HOME" for t in report.transitions), \
+        "no transition into LIMP_HOME was journaled"
+    for name, trace in (("fuel_rate", result.fuel_rate),
+                        ("soc", result.soc), ("reward", result.reward)):
+        assert np.all(np.isfinite(trace)), f"non-finite values in {name}"
+    mpg = result.corrected_mpg()
+    assert np.isfinite(mpg) and mpg > 0.0, \
+        f"limp-home corrected MPG must be positive and finite, got {mpg}"
+
+    modes = report.time_in_mode()
+    print("smoke_guard: OK "
+          f"(final mode {report.final_mode}, {report.interventions} "
+          f"intervention(s), {len(report.transitions)} transition(s), "
+          f"time in mode {modes}, corrected {mpg:.1f} MPG)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,14 @@
 """Command-line interface.
 
-Six subcommands cover the everyday workflows:
+Seven subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
 * ``train``    — train the joint RL controller on a cycle and optionally
   save the learned policy.
 * ``evaluate`` — drive a cycle under a chosen controller (optionally a
-  saved policy, optionally with an injected fault scenario) and print the
+  saved policy, optionally with an injected fault scenario, optionally
+  behind the runtime safety supervisor via ``--guard``) and print the
   result summary plus energy accounting.
 * ``compare``  — train the RL controller and print the proposed-vs-baseline
   table for one cycle.
@@ -15,8 +16,11 @@ Six subcommands cover the everyday workflows:
 * ``sweep``    — run the controllers × fault-scenarios robustness grid
   through the supervised executor: ``--jobs`` isolated workers,
   per-task ``--timeout``, bounded ``--retries``, journaling to an
-  append-only ``--manifest``, and ``--resume`` to skip finished work
-  after a kill.
+  append-only ``--manifest``, ``--resume`` to skip finished work
+  after a kill, and ``--guard`` to drive every run behind the safety
+  supervisor (adds intervention/mode columns).
+* ``guard-report`` — drive one guarded episode and print the supervisor's
+  full journal: guard events, mode transitions, and time in each mode.
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
 (:class:`repro.errors.ReproError`) — including executor and manifest
@@ -41,7 +45,7 @@ from repro.control import (
 )
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import STANDARD_SPECS, compute_stats, save_csv, standard_cycle
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, SafetyHaltError
 from repro.exec import Supervisor, SweepManifest
 from repro.faults import FaultHarness, builtin_scenarios, get_scenario
 from repro.powertrain import PowertrainSolver
@@ -92,6 +96,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="drive in degraded mode: a built-in fault "
                              "scenario name (see 'repro faults list') or a "
                              "scenario JSON path")
+    p_eval.add_argument("--guard", action="store_true",
+                        help="wrap the controller in the runtime safety "
+                             "supervisor (envelope guarding + graceful "
+                             "degradation to the rule-based fallback)")
+
+    p_guard = sub.add_parser(
+        "guard-report",
+        help="drive one guarded episode and print the safety journal")
+    p_guard.add_argument("--cycle", default="UDDS")
+    p_guard.add_argument("--repeats", type=int, default=1)
+    p_guard.add_argument("--controller", default="rl",
+                         choices=sorted(_BASELINES) + ["rl"])
+    p_guard.add_argument("--policy", metavar="STEM",
+                         help="saved policy stem (for --controller rl)")
+    p_guard.add_argument("--seed", type=int, default=42)
+    p_guard.add_argument("--faults", metavar="SCENARIO",
+                         help="inject a fault scenario (name or JSON path)")
 
     p_faults = sub.add_parser("faults", help="fault-injection scenarios")
     p_faults.add_argument("action", choices=["list"],
@@ -130,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="resume from an existing sweep manifest: "
                               "finished runs are skipped and new "
                               "completions are appended to the same file")
+    p_sweep.add_argument("--guard", action="store_true",
+                         help="drive every run behind the runtime safety "
+                              "supervisor; rows gain intervention and "
+                              "health-mode columns")
     return parser
 
 
@@ -170,15 +195,34 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_evaluate(args) -> int:
-    solver = PowertrainSolver(default_vehicle())
-    simulator = Simulator(solver)
+def _build_eval_controller(solver, args):
+    """The ``evaluate``/``guard-report`` controller from shared flags."""
     if args.controller == "rl":
         controller = build_rl_controller(solver, seed=args.seed)
         if args.policy:
             load_policy(controller.agent, args.policy)
-    else:
-        controller = _BASELINES[args.controller](solver)
+        return controller
+    return _BASELINES[args.controller](solver)
+
+
+def _print_guard_summary(report) -> None:
+    """Condensed supervisor summary after a guarded evaluation."""
+    in_mode = ", ".join(f"{name}={steps}"
+                        for name, steps in report.time_in_mode().items()
+                        if steps)
+    print(f"  guard: {report.interventions} intervention(s) "
+          f"({report.intervention_rate:.1%}), "
+          f"{len(report.transitions)} transition(s), "
+          f"final mode {report.final_mode} [{in_mode}]")
+
+
+def _cmd_evaluate(args) -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    controller = _build_eval_controller(solver, args)
+    if args.guard:
+        from repro.safety import SafetySupervisor
+        controller = SafetySupervisor(controller, solver)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
     harness = None
     if args.faults is not None:
@@ -188,6 +232,8 @@ def _cmd_evaluate(args) -> int:
               f"{scenario.description}")
     result = evaluate(simulator, controller, cycle, faults=harness)
     print(result.summary())
+    if result.safety is not None:
+        _print_guard_summary(result.safety)
     if harness is not None:
         battery = solver.params.battery
         print(f"  degraded mode: {result.faulted_steps} faulted steps, "
@@ -203,6 +249,34 @@ def _cmd_evaluate(args) -> int:
     print("  mode share    " + ", ".join(
         f"{name}={frac:.0%}" for name, frac in sorted(
             mode_share(result).items())))
+    return 0
+
+
+def _cmd_guard_report(args) -> int:
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver)
+    controller = _build_eval_controller(solver, args)
+    from repro.safety import SafetySupervisor
+    supervisor = SafetySupervisor(controller, solver)
+    cycle = standard_cycle(args.cycle).repeat(args.repeats)
+    harness = None
+    if args.faults is not None:
+        scenario = get_scenario(args.faults)
+        harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
+        print(f"injecting fault scenario '{scenario.name}': "
+              f"{scenario.description}")
+    try:
+        result = evaluate(simulator, controller=supervisor, cycle=cycle,
+                          faults=harness)
+    except SafetyHaltError as exc:
+        # A halt is a legitimate guarded outcome: print the journal up to
+        # the halt, then report the structured error.
+        if exc.report is not None:
+            print(exc.report.render())
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    print(result.safety.render())
     return 0
 
 
@@ -269,8 +343,15 @@ def _cmd_sweep(args) -> int:
     print(f"sweeping {len(controllers)} controller(s) x "
           f"{len(scenarios)} scenario(s) on {cycle} [{mode}]")
     report = run_robustness(simulator, controllers, scenarios, cycle,
-                            seed=args.seed, executor=executor)
+                            seed=args.seed, executor=executor,
+                            guard=args.guard)
     print(report.render())
+    if args.guard:
+        try:
+            print(f"\nlimp-home MPG retention (worst): "
+                  f"{report.limp_home_retention():.2f}")
+        except ConfigurationError:
+            print("\nno run entered LIMP_HOME")
     if not report.failures:
         print(f"\ncoverage: {len(report.rows)}/{report.planned} runs, "
               "nothing quarantined")
@@ -310,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "faults": _cmd_faults,
         "sweep": _cmd_sweep,
+        "guard-report": _cmd_guard_report,
     }
     try:
         return handlers[args.command](args)

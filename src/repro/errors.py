@@ -69,3 +69,31 @@ class ExecutionError(ReproError, RuntimeError):
 class ManifestError(ReproError, ValueError):
     """A sweep manifest cannot be read or reused (missing file, corrupt
     non-final record, unknown payload type, incompatible version)."""
+
+
+class PersistenceError(CheckpointError):
+    """A persisted policy or checkpoint file failed its integrity check
+    (SHA-256 digest mismatch, truncated archive, unreadable sidecar).
+
+    Subclasses :class:`CheckpointError`, so existing ``except
+    CheckpointError`` call sites keep working; the narrower class marks
+    on-disk corruption as opposed to configuration mismatches."""
+
+
+class SafetyHaltError(ReproError, RuntimeError):
+    """The runtime safety supervisor reached HALT and stopped the episode.
+
+    Raised by :class:`repro.safety.SafetySupervisor` when a fatal health
+    alarm fires (e.g. a non-finite Q-table) or the escalation chain is
+    exhausted.  Carries the step index, the triggering reason, and the
+    safety report accumulated up to the halt."""
+
+    def __init__(self, message: str, step: int = -1, reason: str = "",
+                 report=None):
+        super().__init__(message)
+        self.step = int(step)
+        """Episode step at which the supervisor halted (-1 if unknown)."""
+        self.reason = reason
+        """The alarm or condition that forced the halt."""
+        self.report = report
+        """The :class:`repro.safety.SafetyReport` up to the halt (or None)."""

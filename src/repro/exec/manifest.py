@@ -39,6 +39,7 @@ import dataclasses
 import importlib
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -54,6 +55,9 @@ PAYLOAD_TYPES = {
     "repro.sim.results:EpisodeResult",
     "repro.sim.robustness:RobustnessRow",
     "repro.exec.task:TaskFailure",
+    "repro.safety.events:GuardEvent",
+    "repro.safety.events:ModeTransition",
+    "repro.safety.events:SafetyReport",
 }
 """``module:Class`` names the payload decoder may instantiate."""
 
@@ -222,7 +226,15 @@ class SweepManifest:
             except json.JSONDecodeError as exc:
                 if index == len(lines) - 1:
                     # Torn final line: the previous run was killed
-                    # mid-append.  Everything before it is intact.
+                    # mid-append.  Everything before it is intact; the
+                    # partial record is discarded (its task simply re-runs)
+                    # — but loudly, so an operator can tell a clean resume
+                    # from a crash-recovery one.
+                    warnings.warn(
+                        f"{self.path}:{index + 1}: discarding torn final "
+                        f"manifest record (crash mid-append?); the "
+                        f"affected task will re-run", RuntimeWarning,
+                        stacklevel=2)
                     break
                 raise ManifestError(
                     f"{self.path}:{index + 1}: corrupt manifest record "

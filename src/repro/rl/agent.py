@@ -298,6 +298,29 @@ class JointControlAgent:
             feasible=not fallback, mode=int(batch.mode[prim]),
             power_demand=p_dem)
 
+    # -------------------------------------------------------- monitor hooks ---
+
+    def drop_pending(self) -> None:
+        """Discard the pending TD transition without applying it.
+
+        The safety supervisor calls this when it freezes learning
+        mid-episode: the stored ``(state, action, reward)`` would otherwise
+        be paired with whatever state the agent observes *after* recovery,
+        training on a transition that never happened.
+        """
+        self._pending = None
+
+    def q_health(self) -> Tuple[bool, float]:
+        """``(all finite, max |Q|)`` over the learner's value table(s).
+
+        The supervisor's Q-table monitor polls this; both learners expose
+        their table(s) through ``.qtable.values``.
+        """
+        values = self.learner.qtable.values
+        finite = bool(np.all(np.isfinite(values)))
+        max_abs = float(np.max(np.abs(values))) if finite else float("inf")
+        return finite, max_abs
+
     # ------------------------------------------------------------ internals ---
 
     def _reduce(self, batch: BatchResult,

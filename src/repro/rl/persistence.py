@@ -20,19 +20,27 @@ Two durability guarantees underpin crash-safe training
   counter, double-Q coin, adaptive SoC price, exploring-starts RNG), so a
   killed-and-resumed run replays *bit-identically* the episodes an
   uninterrupted run would have produced.
+* **Integrity checking** — the JSON sidecar records the SHA-256 digest of
+  the ``.npz`` archive; loading verifies it, so silent on-disk corruption
+  (bit rot, torn copies, partial downloads) surfaces as a structured
+  :class:`repro.errors.PersistenceError` naming both digests instead of a
+  numpy/zipfile traceback — or worse, a quietly scrambled policy.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, PersistenceError
 from repro.rl.agent import JointControlAgent
 
 FORMAT_VERSION = 1
@@ -62,13 +70,52 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
         raise
 
 
-def _atomic_save_npz(path: Path, **arrays: np.ndarray) -> None:
-    """Atomically persist arrays as a compressed ``.npz``."""
-    import io
-
+def _atomic_save_npz(path: Path, **arrays: np.ndarray) -> str:
+    """Atomically persist arrays as a compressed ``.npz``; returns the
+    SHA-256 hexdigest of the written bytes (recorded in the sidecar for
+    load-time integrity verification)."""
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
-    _atomic_write_bytes(path, buffer.getvalue())
+    payload = buffer.getvalue()
+    _atomic_write_bytes(path, payload)
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _load_npz_verified(path: Path, expected_digest: Optional[str]) -> dict:
+    """Read an ``.npz``, verifying its digest against the sidecar's record.
+
+    Sidecars written before integrity checking carry no digest
+    (``expected_digest=None``); those load unverified for compatibility.
+    Any corruption — digest mismatch, truncated archive, unreadable
+    member — raises :class:`repro.errors.PersistenceError`.
+    """
+    payload = path.read_bytes()
+    if expected_digest is not None:
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != expected_digest:
+            raise PersistenceError(
+                f"{path}: integrity check failed — SHA-256 digest "
+                f"{actual} does not match the sidecar's recorded "
+                f"{expected_digest}; the file was corrupted or replaced "
+                "after it was written")
+    try:
+        data = np.load(io.BytesIO(payload))
+        return {name: data[name] for name in data.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise PersistenceError(
+            f"{path}: archive is unreadable ({exc}); the file is "
+            "truncated or corrupt") from exc
+
+
+def _load_sidecar(path: Path) -> dict:
+    """Read a JSON sidecar, mapping parse failures to a structured error."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(
+            f"{path}: sidecar is not valid JSON ({exc}); the file is "
+            "truncated or corrupt") from exc
 
 
 def _atomic_write_json(path: Path, obj: dict) -> None:
@@ -101,8 +148,10 @@ def save_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
     atomically (a crash mid-save never corrupts an existing policy).
     """
     stem = Path(path)
-    _atomic_save_npz(stem.with_suffix(".npz"), q=agent.learner.qtable.values)
-    _atomic_write_json(stem.with_suffix(".json"), _fingerprint(agent))
+    digest = _atomic_save_npz(stem.with_suffix(".npz"),
+                              q=agent.learner.qtable.values)
+    sidecar = dict(_fingerprint(agent), npz_sha256=digest)
+    _atomic_write_json(stem.with_suffix(".json"), sidecar)
 
 
 def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
@@ -114,8 +163,7 @@ def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
     otherwise.
     """
     stem = Path(path)
-    with open(stem.with_suffix(".json")) as f:
-        saved = json.load(f)
+    saved = _load_sidecar(stem.with_suffix(".json"))
     current = _fingerprint(agent)
     mismatched = {key for key in current
                   if saved.get(key) != current[key]}
@@ -123,7 +171,8 @@ def load_policy(agent: JointControlAgent, path: Union[str, Path]) -> None:
         raise CheckpointError(
             "saved policy is incompatible with this agent; mismatched "
             f"fields: {sorted(mismatched)}")
-    data = np.load(stem.with_suffix(".npz"))
+    data = _load_npz_verified(stem.with_suffix(".npz"),
+                              saved.get("npz_sha256"))
     q = data["q"]
     if q.shape != agent.learner.qtable.values.shape:
         raise CheckpointError(
@@ -149,9 +198,11 @@ def save_checkpoint(agent: JointControlAgent, path: Union[str, Path],
         raise CheckpointError("completed-episode count cannot be negative")
     stem = Path(path)
     learner = agent.learner
-    _atomic_save_npz(stem.with_suffix(".npz"), **learner.checkpoint_arrays())
+    digest = _atomic_save_npz(stem.with_suffix(".npz"),
+                              **learner.checkpoint_arrays())
     meta = {
         "checkpoint_version": CHECKPOINT_VERSION,
+        "npz_sha256": digest,
         "fingerprint": _fingerprint(agent),
         "episode": int(episode),
         "learner": learner.checkpoint_meta(),
@@ -176,8 +227,7 @@ def load_checkpoint(agent: JointControlAgent, path: Union[str, Path],
     mismatches; a missing file surfaces as :class:`FileNotFoundError`.
     """
     stem = Path(path)
-    with open(stem.with_suffix(".json")) as f:
-        meta = json.load(f)
+    meta = _load_sidecar(stem.with_suffix(".json"))
     if meta.get("checkpoint_version") != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"unsupported checkpoint version {meta.get('checkpoint_version')!r}"
@@ -190,8 +240,8 @@ def load_checkpoint(agent: JointControlAgent, path: Union[str, Path],
         raise CheckpointError(
             "checkpoint is incompatible with this agent; mismatched "
             f"fields: {sorted(mismatched)}")
-    data = np.load(stem.with_suffix(".npz"))
-    arrays = {name: data[name] for name in data.files}
+    arrays = _load_npz_verified(stem.with_suffix(".npz"),
+                                meta.get("npz_sha256"))
     try:
         agent.learner.restore_checkpoint(arrays, meta["learner"])
     except KeyError as exc:

@@ -1,0 +1,117 @@
+"""Hysteresis health state machine: NOMINAL -> DEGRADED -> LIMP_HOME -> HALT.
+
+Monitors vote an :class:`AlarmLevel` each step; the machine escalates one
+level at a time only after the alarm persists (``escalate_after``
+consecutive steps), and recovers one level at a time only after a much
+longer clean streak (``recover_after``) — the hysteresis keeps a noisy
+controller from flapping between modes every few steps.  FATAL alarms
+bypass the dwell and jump straight to HALT, which is terminal.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class HealthState(IntEnum):
+    """Supervisor health mode, ordered by severity."""
+
+    NOMINAL = 0
+    DEGRADED = 1
+    LIMP_HOME = 2
+    HALT = 3
+
+
+class AlarmLevel(IntEnum):
+    """Severity a monitor reports for one step."""
+
+    OK = 0
+    WARN = 1
+    SEVERE = 2
+    FATAL = 3
+
+
+#: Mode a sustained alarm level demands (WARN wants DEGRADED, SEVERE wants
+#: LIMP_HOME, FATAL wants HALT).
+_ALARM_TARGET = {
+    AlarmLevel.OK: HealthState.NOMINAL,
+    AlarmLevel.WARN: HealthState.DEGRADED,
+    AlarmLevel.SEVERE: HealthState.LIMP_HOME,
+    AlarmLevel.FATAL: HealthState.HALT,
+}
+
+
+class HealthStateMachine:
+    """Dwell-based escalation with hysteresis recovery.
+
+    Escalation: an alarm whose target mode exceeds the current mode must
+    persist for ``escalate_after`` consecutive steps before the machine
+    moves up — and it moves one level at a time, so even a sustained
+    SEVERE alarm passes through DEGRADED before reaching LIMP_HOME.
+    FATAL is the exception: it halts immediately.
+
+    Recovery: ``recover_after`` consecutive OK steps step the mode back
+    down one level.  HALT never recovers.
+    """
+
+    def __init__(self, escalate_after: int = 3, recover_after: int = 40):
+        if escalate_after < 1 or recover_after < 1:
+            raise ConfigurationError("dwell counts must be >= 1")
+        self.escalate_after = escalate_after
+        self.recover_after = recover_after
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to NOMINAL with cleared dwell counters (new episode)."""
+        self.state = HealthState.NOMINAL
+        self._alarm_streak = 0
+        self._clean_streak = 0
+
+    def force(self, target: HealthState,
+              reason: str) -> Optional[Tuple[HealthState, HealthState, str]]:
+        """Jump directly to ``target`` (used for controller crashes where
+        dwell would mean repeating the crash).  Returns the transition as
+        ``(source, target, reason)`` or None if already at/above it."""
+        if target <= self.state:
+            return None
+        source = self.state
+        self.state = target
+        self._alarm_streak = 0
+        self._clean_streak = 0
+        return (source, target, reason)
+
+    def step(self, alarm: AlarmLevel,
+             reason: str) -> Optional[Tuple[HealthState, HealthState, str]]:
+        """Feed one step's worst alarm; returns a transition or None."""
+        if self.state is HealthState.HALT:
+            return None
+        if alarm is AlarmLevel.FATAL:
+            return self.force(HealthState.HALT, reason)
+
+        target = _ALARM_TARGET[alarm]
+        if target > self.state:
+            self._clean_streak = 0
+            self._alarm_streak += 1
+            if self._alarm_streak >= self.escalate_after:
+                source = self.state
+                self.state = HealthState(self.state + 1)
+                self._alarm_streak = 0
+                return (source, self.state, reason)
+        elif alarm is AlarmLevel.OK and self.state is not HealthState.NOMINAL:
+            self._alarm_streak = 0
+            self._clean_streak += 1
+            if self._clean_streak >= self.recover_after:
+                source = self.state
+                self.state = HealthState(self.state - 1)
+                self._clean_streak = 0
+                return (source, self.state,
+                        f"recovered after {self.recover_after} clean steps")
+        else:
+            # Alarm matches the current mode (e.g. WARN while DEGRADED):
+            # neither an escalation vote nor a clean step.
+            self._alarm_streak = 0
+            self._clean_streak = 0
+        return None

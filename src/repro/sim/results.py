@@ -80,6 +80,12 @@ class EpisodeResult:
     """Per-step flag marking steps driven with at least one fault at
     nonzero severity; ``None`` for runs without fault injection."""
 
+    safety: Optional["SafetyReport"] = None  # noqa: F821 — see below
+    """The :class:`repro.safety.SafetyReport` of the episode when the
+    controller was wrapped in a safety supervisor; ``None`` otherwise.
+    (Forward-referenced to keep :mod:`repro.sim` import-independent of
+    :mod:`repro.safety`.)"""
+
     # --- aggregates -------------------------------------------------------------
 
     @property

@@ -28,7 +28,7 @@ in :attr:`RobustnessReport.failures` and the table covers the rest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -78,6 +78,19 @@ class RobustnessRow:
     finite: bool
     """True when every recorded trace is finite (watchdog held)."""
 
+    interventions: int = 0
+    """Guard interventions of the run (0 for unguarded runs).  The guard
+    fields default so rows persisted by pre-guard manifests still decode."""
+
+    intervention_rate: float = 0.0
+    """Interventions per mediated step (0.0 for unguarded runs)."""
+
+    time_in_mode: Optional[Dict[str, int]] = None
+    """Steps per supervisor health mode (None for unguarded runs)."""
+
+    final_mode: str = ""
+    """Supervisor health mode at the end of the run ("" when unguarded)."""
+
 
 @dataclass
 class RobustnessReport:
@@ -113,23 +126,49 @@ class RobustnessReport:
             raise ConfigurationError("report holds no faulted runs")
         return min(faulted)
 
+    def limp_home_retention(self) -> float:
+        """Smallest MPG retention among runs that spent steps in LIMP_HOME.
+
+        The guarded sweep's headline: how much fuel economy the fallback
+        controller preserves when the supervisor takes the learned policy
+        out of the loop."""
+        limp = [r.mpg_retention for r in self.rows
+                if r.time_in_mode is not None
+                and r.time_in_mode.get("LIMP_HOME", 0) > 0]
+        if not limp:
+            raise ConfigurationError(
+                "report holds no runs that entered LIMP_HOME (was the "
+                "sweep run with guard=True and severe enough scenarios?)")
+        return min(limp)
+
     def render(self) -> str:
-        """Human-readable sweep table."""
+        """Human-readable sweep table (guard columns appear when any row
+        carries supervisor metrics)."""
+        guarded = any(r.time_in_mode is not None for r in self.rows)
+        header = (
+            f"{'scenario':15s} {'controller':12s} {'mpg':>7s} {'retain':>7s} "
+            f"{'windowV':>8s} {'fallback':>9s} {'faulted':>8s} "
+            f"{'activ.':>6s} {'SoC_f':>6s}")
+        if guarded:
+            header += f" {'interv':>7s} {'i.rate':>7s} {'mode_f':>9s}"
         lines = [
             "Robustness sweep: graceful degradation under injected faults",
             "(retention = corrected MPG vs the same controller, healthy)",
             "",
-            f"{'scenario':15s} {'controller':12s} {'mpg':>7s} {'retain':>7s} "
-            f"{'windowV':>8s} {'fallback':>9s} {'faulted':>8s} "
-            f"{'activ.':>6s} {'SoC_f':>6s}",
+            header,
         ]
         for row in self.rows:
-            lines.append(
+            line = (
                 f"{row.scenario:15s} {row.controller:12s} "
                 f"{row.corrected_mpg:7.1f} {row.mpg_retention:7.2f} "
                 f"{row.window_violations:8d} {row.fallback_steps:9d} "
                 f"{row.faulted_steps:8d} {row.fault_activations:6d} "
                 f"{row.final_soc:6.2f}")
+            if guarded:
+                line += (f" {row.interventions:7d} "
+                         f"{row.intervention_rate:7.3f} "
+                         f"{row.final_mode or '-':>9s}")
+            lines.append(line)
         if self.failures:
             lines.append("")
             lines.append(f"coverage: {len(self.rows)}/{self.planned} runs "
@@ -148,6 +187,7 @@ def _finite(result: EpisodeResult) -> bool:
 def _row(name: str, scenario: str, result: EpisodeResult, healthy_mpg: float,
          soc_min: float, soc_max: float, activations: int) -> RobustnessRow:
     mpg = result.corrected_mpg()
+    safety = result.safety
     return RobustnessRow(
         controller=name, scenario=scenario, corrected_mpg=mpg,
         mpg_retention=mpg / healthy_mpg if healthy_mpg > 0 else 0.0,
@@ -156,14 +196,31 @@ def _row(name: str, scenario: str, result: EpisodeResult, healthy_mpg: float,
         fault_activations=activations,
         faulted_steps=result.faulted_steps,
         final_soc=result.final_soc,
-        finite=_finite(result))
+        finite=_finite(result),
+        interventions=safety.interventions if safety else 0,
+        intervention_rate=safety.intervention_rate if safety else 0.0,
+        time_in_mode=safety.time_in_mode() if safety else None,
+        final_mode=safety.final_mode if safety else "")
+
+
+def _guarded(controller: Controller, simulator: Simulator, guard: bool,
+             supervisor_config) -> Controller:
+    """Wrap one prepared controller for a guarded run (fresh supervisor per
+    run, so journals never leak between grid cells)."""
+    if not guard:
+        return controller
+    from repro.safety import SafetySupervisor
+    return SafetySupervisor(controller, simulator.solver,
+                            config=supervisor_config)
 
 
 def _healthy_run(simulator: Simulator, name: str, controller: Controller,
                  cycle: DriveCycle, initial_soc: float,
-                 soc_min: float, soc_max: float) -> RobustnessRow:
+                 soc_min: float, soc_max: float, guard: bool = False,
+                 supervisor_config=None) -> RobustnessRow:
     """Fault-free reference drive of one controller → its healthy row."""
-    healthy = simulator.run_episode(controller, cycle,
+    driver = _guarded(controller, simulator, guard, supervisor_config)
+    healthy = simulator.run_episode(driver, cycle,
                                     initial_soc=initial_soc,
                                     learn=False, greedy=True)
     return _row(name, _HEALTHY, healthy, healthy.corrected_mpg(),
@@ -173,10 +230,12 @@ def _healthy_run(simulator: Simulator, name: str, controller: Controller,
 def _faulted_run(simulator: Simulator, name: str, controller: Controller,
                  scenario_name: str, scenario: Scenario, cycle: DriveCycle,
                  initial_soc: float, seed: int, healthy_mpg: float,
-                 soc_min: float, soc_max: float) -> RobustnessRow:
+                 soc_min: float, soc_max: float, guard: bool = False,
+                 supervisor_config=None) -> RobustnessRow:
     """One degraded-mode drive → its scored row."""
     harness = FaultHarness(simulator.solver, scenario.schedule, seed=seed)
-    result = simulator.run_episode(controller, cycle,
+    driver = _guarded(controller, simulator, guard, supervisor_config)
+    result = simulator.run_episode(driver, cycle,
                                    initial_soc=initial_soc,
                                    learn=False, greedy=True,
                                    faults=harness)
@@ -185,10 +244,15 @@ def _faulted_run(simulator: Simulator, name: str, controller: Controller,
 
 
 def _task_spec(kind: str, name: str, scenario: str, cycle: DriveCycle,
-               initial_soc: float, seed: int) -> dict:
-    return {"kind": kind, "controller": name, "scenario": scenario,
+               initial_soc: float, seed: int, guard: bool) -> dict:
+    spec = {"kind": kind, "controller": name, "scenario": scenario,
             "cycle": cycle.name, "initial_soc": float(initial_soc),
             "seed": int(seed)}
+    if guard:
+        # Only present on guarded sweeps so pre-guard manifests keep their
+        # content hashes (an unguarded resume must still hit its cache).
+        spec["guard"] = True
+    return spec
 
 
 def run_robustness(simulator: Simulator,
@@ -196,7 +260,9 @@ def run_robustness(simulator: Simulator,
                    scenarios: Mapping[str, Scenario],
                    cycle: DriveCycle, initial_soc: float = 0.60,
                    seed: int = 0,
-                   executor: Optional[Supervisor] = None) -> RobustnessReport:
+                   executor: Optional[Supervisor] = None,
+                   guard: bool = False,
+                   supervisor_config=None) -> RobustnessReport:
     """Evaluate every controller under every fault scenario.
 
     ``controllers`` maps names to *prepared* controllers bound to the
@@ -213,6 +279,15 @@ def run_robustness(simulator: Simulator,
     references run first, then every (controller, scenario) cell;
     quarantined cells — and cells skipped because their healthy reference
     was lost — are reported in :attr:`RobustnessReport.failures`.
+
+    ``guard=True`` drives every run through a fresh
+    :class:`repro.safety.SafetySupervisor` (thresholds from
+    ``supervisor_config``): rows then carry intervention counts, time in
+    each health mode, and the final mode, and
+    :meth:`RobustnessReport.limp_home_retention` becomes meaningful.  A
+    run the supervisor halts raises
+    :class:`~repro.errors.SafetyHaltError` — structured, so a
+    quarantine-mode executor records it as a failure instead of dying.
     """
     if not controllers:
         raise ConfigurationError("need at least one controller")
@@ -226,10 +301,10 @@ def run_robustness(simulator: Simulator,
     healthy_tasks = [
         Task(key=f"{name}/{_HEALTHY}",
              spec=_task_spec("robustness-healthy", name, _HEALTHY, cycle,
-                             initial_soc, seed),
+                             initial_soc, seed, guard),
              fn=lambda name=name, controller=controller: _healthy_run(
                  simulator, name, controller, cycle, initial_soc,
-                 soc_min, soc_max))
+                 soc_min, soc_max, guard, supervisor_config))
         for name, controller in controllers.items()]
     healthy_sweep = executor.run(healthy_tasks)
 
@@ -255,13 +330,13 @@ def run_robustness(simulator: Simulator,
             faulted_tasks.append(Task(
                 key=f"{name}/{scenario_name}",
                 spec=_task_spec("robustness", name, scenario_name, cycle,
-                                initial_soc, seed),
+                                initial_soc, seed, guard),
                 fn=lambda name=name, controller=controller,
                 scenario_name=scenario_name, scenario=scenario,
                 healthy_mpg=healthy_mpg: _faulted_run(
                     simulator, name, controller, scenario_name, scenario,
                     cycle, initial_soc, seed, healthy_mpg,
-                    soc_min, soc_max)))
+                    soc_min, soc_max, guard, supervisor_config)))
     faulted_sweep = executor.run(faulted_tasks)
     report.failures.extend(faulted_sweep.failures)
 

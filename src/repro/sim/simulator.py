@@ -174,6 +174,15 @@ class Simulator:
             if harness is not None:
                 harness.restore()
 
+        # A safety-supervised controller exposes the episode's guard/mode
+        # journal after finish_episode; attach it so the CLI, robustness
+        # harness, and analysis layers see it (duck-typed so the simulator
+        # stays import-independent of repro.safety).
+        safety_report = None
+        report_hook = getattr(controller, "episode_safety_report", None)
+        if callable(report_hook):
+            safety_report = report_hook()
+
         battery = self._solver.battery
         params = battery.params
         nominal_voltage = float(battery.open_circuit_voltage(
@@ -186,4 +195,4 @@ class Simulator:
             initial_soc=initial_soc, battery_capacity=params.capacity,
             nominal_voltage=nominal_voltage,
             fuel_energy_density=self._solver.engine.fuel_energy_density,
-            fault_active=fault_active)
+            fault_active=fault_active, safety=safety_report)

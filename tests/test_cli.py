@@ -117,3 +117,35 @@ class TestParser:
     def test_rejects_unknown_variant(self):
         with pytest.raises(SystemExit):
             main(["train", "--variant", "nope"])
+
+
+class TestGuardCommands:
+    def test_evaluate_with_guard_prints_summary(self, capsys):
+        assert main(["evaluate", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "rule-based", "--guard"]) == 0
+        out = capsys.readouterr().out
+        assert "guard:" in out
+        assert "final mode NOMINAL" in out
+
+    def test_guard_report_healthy(self, capsys):
+        assert main(["guard-report", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "rule-based"]) == 0
+        out = capsys.readouterr().out
+        assert "safety report:" in out
+        assert "time in mode:" in out
+        assert "NOMINAL" in out
+
+    def test_guard_report_with_faults(self, capsys):
+        assert main(["guard-report", "--cycle", "SC03", "--repeats", "1",
+                     "--controller", "rule-based",
+                     "--faults", "limp_home"]) == 0
+        out = capsys.readouterr().out
+        assert "safety report:" in out
+
+    def test_guarded_sweep_adds_mode_columns(self, capsys):
+        assert main(["sweep", "--cycle", "SC03", "--repeats", "1",
+                     "--controllers", "rule-based",
+                     "--scenarios", "aux_spike", "--guard"]) == 0
+        out = capsys.readouterr().out
+        assert "mode_f" in out
+        assert "NOMINAL" in out

@@ -15,6 +15,7 @@ from repro.cycles import (
     synthesize,
 )
 from repro.cycles.stats import count_stops
+from repro.errors import ConfigurationError
 from repro.units import kmh_to_ms
 
 
@@ -196,3 +197,59 @@ class TestCsvIO:
         path.write_text("0,5,0.01\n1,5,0.02\n")
         cycle = load_csv(path)
         assert cycle.grades[1] == pytest.approx(0.02)
+
+
+class TestCsvValidation:
+    """Malformed traces must fail at load time, naming the offending row."""
+
+    def _load(self, tmp_path, body):
+        path = tmp_path / "bad.csv"
+        path.write_text(body)
+        return lambda: load_csv(path)
+
+    def test_rejects_nan_speed(self, tmp_path):
+        load = self._load(tmp_path, "time,speed\n0,1.0\n1,nan\n2,1.0\n")
+        with pytest.raises(ConfigurationError, match=r"bad\.csv:3.*not finite"):
+            load()
+
+    def test_rejects_negative_speed(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0\n1,-0.5\n2,1.0\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"bad\.csv:2.*negative"):
+            load()
+
+    def test_rejects_nonmonotonic_time(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0\n1,1.0\n1,2.0\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"bad\.csv:3.*does not increase"):
+            load()
+
+    def test_rejects_unparseable_speed(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0\n1,fast\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"bad\.csv:2.*unparseable"):
+            load()
+
+    def test_rejects_unparseable_time_after_data(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0\noops,1.0\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"bad\.csv:2.*unparseable time"):
+            load()
+
+    def test_rejects_missing_speed_column(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0\n1\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"bad\.csv:2.*no speed column"):
+            load()
+
+    def test_rejects_nonfinite_grade(self, tmp_path):
+        load = self._load(tmp_path, "0,1.0,0.0\n1,1.0,inf\n")
+        with pytest.raises(ConfigurationError, match=r"bad\.csv:2"):
+            load()
+
+    def test_structured_errors_are_still_value_errors(self, tmp_path):
+        # Callers of the pre-structured API caught ValueError; the
+        # ConfigurationError hierarchy must not break them.
+        load = self._load(tmp_path, "0,1.0\n1,-2.0\n")
+        with pytest.raises(ValueError):
+            load()

@@ -335,6 +335,27 @@ class TestSweepManifest:
         manifest = SweepManifest(path, resume=True)
         assert len(manifest.completed) == 1
 
+    def test_torn_final_line_warns_loudly(self, tmp_path):
+        """Crash recovery is tolerated but never silent: the discarded
+        partial record must surface as a RuntimeWarning naming the line."""
+        path = tmp_path / "m.jsonl"
+        supervisor = Supervisor(manifest=SweepManifest(path))
+        supervisor.run([_task("a", lambda: 1, n=1)])
+        with path.open("a") as fh:
+            fh.write('{"type": "result", "st')  # killed mid-append
+        with pytest.warns(RuntimeWarning, match=r"m\.jsonl:3.*torn final"):
+            manifest = SweepManifest(path, resume=True)
+        assert len(manifest.completed) == 1
+
+    def test_clean_resume_does_not_warn(self, tmp_path):
+        import warnings as warnings_mod
+        path = tmp_path / "m.jsonl"
+        supervisor = Supervisor(manifest=SweepManifest(path))
+        supervisor.run([_task("a", lambda: 1, n=1)])
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            SweepManifest(path, resume=True)
+
     def test_rejects_corruption_before_final_line(self, tmp_path):
         path = tmp_path / "m.jsonl"
         path.write_text('not json\n{"type": "manifest", "version": 1}\n')

@@ -6,6 +6,7 @@ import pytest
 from repro.control.rl_controller import build_rl_controller
 from repro.cycles import CycleSpec, synthesize
 from repro.powertrain import PowertrainSolver
+from repro.errors import PersistenceError
 from repro.rl.persistence import load_policy, save_policy
 from repro.sim import Simulator, evaluate, train
 from repro.vehicle import default_vehicle
@@ -80,3 +81,63 @@ class TestCompatibilityGuard:
     def test_missing_file_raises(self, trained_agent, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_policy(trained_agent, tmp_path / "nothing")
+
+
+class TestIntegrity:
+    """On-disk corruption must surface as structured PersistenceError."""
+
+    def test_bit_flip_is_detected_with_digests(self, trained_agent, tmp_path):
+        save_policy(trained_agent, tmp_path / "policy")
+        npz = tmp_path / "policy.npz"
+        blob = bytearray(npz.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        npz.write_bytes(bytes(blob))
+        fresh = build_rl_controller(PowertrainSolver(default_vehicle()),
+                                    seed=99).agent
+        with pytest.raises(PersistenceError, match="SHA-256"):
+            load_policy(fresh, tmp_path / "policy")
+
+    def test_truncated_archive_without_digest_is_structured(
+            self, trained_agent, tmp_path):
+        import json
+        save_policy(trained_agent, tmp_path / "policy")
+        sidecar = tmp_path / "policy.json"
+        meta = json.loads(sidecar.read_text())
+        del meta["npz_sha256"]  # a pre-integrity sidecar
+        sidecar.write_text(json.dumps(meta))
+        npz = tmp_path / "policy.npz"
+        npz.write_bytes(npz.read_bytes()[:40])
+        fresh = build_rl_controller(PowertrainSolver(default_vehicle()),
+                                    seed=99).agent
+        with pytest.raises(PersistenceError, match="unreadable"):
+            load_policy(fresh, tmp_path / "policy")
+
+    def test_corrupt_sidecar_is_structured(self, trained_agent, tmp_path):
+        save_policy(trained_agent, tmp_path / "policy")
+        (tmp_path / "policy.json").write_text('{"format_version": 1, trunc')
+        with pytest.raises(PersistenceError, match="JSON"):
+            load_policy(trained_agent, tmp_path / "policy")
+
+    def test_sidecar_without_digest_still_loads(self, trained_agent,
+                                                tmp_path):
+        import json
+        save_policy(trained_agent, tmp_path / "policy")
+        sidecar = tmp_path / "policy.json"
+        meta = json.loads(sidecar.read_text())
+        del meta["npz_sha256"]
+        sidecar.write_text(json.dumps(meta))
+        fresh = build_rl_controller(PowertrainSolver(default_vehicle()),
+                                    seed=99).agent
+        load_policy(fresh, tmp_path / "policy")  # back-compat: no raise
+        assert np.array_equal(fresh.learner.qtable.values,
+                              trained_agent.learner.qtable.values)
+
+    def test_checkpoint_bit_flip_is_detected(self, trained_agent, tmp_path):
+        from repro.rl.persistence import load_checkpoint, save_checkpoint
+        save_checkpoint(trained_agent, tmp_path / "ckpt", episode=3)
+        npz = tmp_path / "ckpt.npz"
+        blob = bytearray(npz.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        npz.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="SHA-256"):
+            load_checkpoint(trained_agent, tmp_path / "ckpt")
