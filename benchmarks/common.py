@@ -22,8 +22,11 @@ land in the range of the paper's Table 2.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, Optional, Tuple
+import subprocess
+import time
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.control import RuleBasedController, ECMSController
 from repro.control.rl_controller import build_rl_controller
@@ -41,18 +44,81 @@ REPORTS = []
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def report(name: str, text: str) -> None:
+def report(name: str, text: str,
+           metrics: Optional[Sequence[dict]] = None) -> None:
     """Register a rendered result table.
 
     The table is printed immediately (visible with ``pytest -s``), queued
     for the end-of-session summary (visible regardless of capture), and
     written to ``benchmarks/results/<name>.txt`` for later inspection.
+
+    ``metrics`` — an optional sequence of ``{"name", "value", "units"}``
+    dicts — additionally persists a machine-readable
+    ``benchmarks/results/BENCH_<name>.json`` through :func:`emit_json`,
+    so the bench's figures of merit enter the perf/accuracy trajectory
+    without scraping the rendered table.
     """
     print("\n" + text)
     REPORTS.append(text)
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     with open(os.path.join(_RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+    if metrics is not None:
+        emit_json(name, metrics)
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``.
+
+    Benches must run from exported tarballs too, so a missing ``git``
+    (or a non-repo checkout) degrades to a placeholder instead of failing.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def metric(name: str, value: float, units: str) -> dict:
+    """One schema-conforming metric record for :func:`emit_json`."""
+    return {"name": str(name), "value": float(value), "units": str(units)}
+
+
+def emit_json(name: str, metrics: Sequence[dict],
+              path: Optional[str] = None) -> str:
+    """Write the shared machine-readable bench result file.
+
+    Schema (validated by ``scripts/check_bench_schema.py``): a JSON object
+    with ``benchmark`` (str), ``schema_version`` (int), ``git_rev`` (str),
+    ``timestamp`` (ISO-8601 UTC str), and ``metrics`` — a non-empty list
+    of ``{"name": str, "value": float, "units": str}``.  Returns the path
+    written (default ``benchmarks/results/BENCH_<name>.json``).
+    """
+    records = []
+    for m in metrics:
+        records.append(metric(m["name"], m["value"], m["units"]))
+    if not records:
+        raise ValueError(f"bench {name!r} emitted no metrics")
+    payload = {
+        "benchmark": str(name),
+        "schema_version": 1,
+        "git_rev": git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "metrics": records,
+    }
+    if path is None:
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 CYCLE_REPEATS = 2
 """Back-to-back repetitions of each evaluation cycle."""

@@ -30,6 +30,8 @@ API_BOUNDARY_MODULES = [
     "src/repro/rl/reward.py",
     "src/repro/powertrain/solver.py",
     "src/repro/powertrain/operating_point.py",
+    "src/repro/powertrain/tables.py",
+    "src/repro/powertrain/reference.py",
     "src/repro/cycles/cycle.py",
     "src/repro/cycles/io.py",
     "src/repro/vehicle/battery.py",

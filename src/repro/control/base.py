@@ -34,3 +34,30 @@ class Controller(abc.ABC):
     @abc.abstractmethod
     def finish_episode(self, learn: bool = True) -> None:
         """Drive finished (flush terminal learning updates, if any)."""
+
+    def act_batch(self, speeds, accelerations, socs, dt: float,
+                  grades=None) -> list:
+        """Greedy policy probe over N *independent* observations.
+
+        Unlike :meth:`act`, the observations are not consecutive steps of
+        one drive: each ``(speed, acceleration, soc, grade)`` tuple is a
+        standalone "what would you do here" query, and answering must not
+        mutate controller state (no learning, no exploration advance).
+        Returns one :class:`ExecutedStep` per observation.
+
+        The default implementation falls back to the scalar :meth:`act`
+        with ``learn=False, greedy=True`` — correct for stateless
+        controllers; stateful ones (e.g. the RL agent) override it with a
+        genuinely side-effect-free vectorised path.
+        """
+        if grades is None:
+            grades = [0.0] * len(speeds)
+        if not (len(speeds) == len(accelerations) == len(socs)
+                == len(grades)):
+            raise ValueError(
+                "speeds, accelerations, socs, and grades must be "
+                "index-aligned")
+        return [self.act(float(speeds[i]), float(accelerations[i]),
+                         float(socs[i]), dt, float(grades[i]),
+                         learn=False, greedy=True)
+                for i in range(len(speeds))]

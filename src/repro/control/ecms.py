@@ -133,4 +133,5 @@ class ECMSController(Controller):
             soc_next=float(batch.soc_next[chosen]),
             reward=reward, paper_reward=paper_reward,
             feasible=not fallback, mode=int(batch.mode[chosen]),
-            power_demand=p_dem)
+            power_demand=p_dem,
+            shortfall=float(batch.shortfall[chosen]))

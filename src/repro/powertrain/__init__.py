@@ -6,11 +6,29 @@ every dependent variable of Section 2.2 — engine and motor torque/speed,
 actual battery current, fuel rate, friction-brake torque — and classifies
 the operating mode.  Evaluation is vectorised over whole batches of
 candidate actions, which is what makes tabular RL training tractable in
-pure Python.
+pure Python; controllers with a fixed candidate grid bind it once to an
+:class:`ActionGridWorkspace` and drive the zero-allocation
+:meth:`PowertrainSolver.evaluate_grid` hot path (see
+``docs/PERFORMANCE.md``).  :mod:`repro.powertrain.reference` keeps the
+frozen pre-vectorisation implementation the equivalence suite and the
+throughput bench compare against.
 """
 
 from repro.powertrain.modes import OperatingMode
 from repro.powertrain.operating_point import BatchResult, OperatingPoint
 from repro.powertrain.solver import PowertrainSolver
+from repro.powertrain.tables import (
+    ActionGridWorkspace,
+    DenseMaps,
+    PowertrainTables,
+)
 
-__all__ = ["OperatingMode", "OperatingPoint", "BatchResult", "PowertrainSolver"]
+__all__ = [
+    "OperatingMode",
+    "OperatingPoint",
+    "BatchResult",
+    "PowertrainSolver",
+    "PowertrainTables",
+    "ActionGridWorkspace",
+    "DenseMaps",
+]

@@ -67,6 +67,9 @@ class OperatingPoint:
     brake_torque: float
     """Friction-brake torque at the wheel, N*m (non-positive)."""
 
+    shortfall: float = 0.0
+    """Undelivered shaft torque, N*m (zero when demand is met)."""
+
     def __post_init__(self) -> None:
         if self.aux_power < 0:
             raise ConfigurationError("auxiliary power cannot be negative")
@@ -160,4 +163,5 @@ class BatchResult:
             aux_power=float(self.aux_power[index]),
             fuel_rate=float(self.fuel_rate[index]),
             brake_torque=float(self.brake_torque[index]),
+            shortfall=float(self.shortfall[index]),
         )

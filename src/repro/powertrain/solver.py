@@ -26,17 +26,38 @@ engine would exceed its wide-open-throttle curve, or EV-only operation would
 exceed the EM envelope) or when it would push the battery charge outside the
 charge-sustaining window.  The solver always reports the achievable torque
 shortfall so the simulator can fall back gracefully on pathological steps.
+
+Struct-of-arrays fast path
+--------------------------
+The batch kernel is organised around two precomputation layers (see
+:mod:`repro.powertrain.tables` and ``docs/PERFORMANCE.md``):
+
+* per-vehicle constants (:class:`PowertrainTables`, built once per solver
+  configuration and rebuilt automatically when fault injection re-runs
+  ``__init__`` in place), and
+* per-action-grid statics (:class:`ActionGridWorkspace`, built once per
+  controller grid and reused every step), with per-*unique-gear* evaluation
+  of the gear-dependent quantities followed by ``np.take`` gathers.
+
+The kernel is arithmetically **bit-identical** to the frozen seed
+implementation preserved in :mod:`repro.powertrain.reference` — same
+elementwise operations in the same association order — which the golden
+equivalence suite (``tests/test_vectorized_equivalence.py``) enforces.
+Results produced through a caller-held workspace reuse its buffers and are
+only valid until the next evaluation on that workspace.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.powertrain.modes import classify
+from repro.powertrain.modes import OperatingMode, classify
 from repro.powertrain.operating_point import BatchResult, OperatingPoint
+from repro.powertrain.tables import ActionGridWorkspace, PowertrainTables
 from repro.vehicle.auxiliary import AuxiliarySystem
 from repro.vehicle.battery import Battery
 from repro.vehicle.dynamics import VehicleDynamics
@@ -55,6 +76,11 @@ _WINDOW_EDGE_TOL = 1e-9
 lands *exactly* on an edge must count as inside, but the Coulomb-counting
 round trip (charge -> fraction) can round the landing a few ULPs past it.
 The window comparison is therefore edge-inclusive up to this tolerance."""
+
+_CONFIG_EPOCHS = itertools.count()
+"""Monotonic configuration-epoch source.  Each ``PowertrainSolver.__init__``
+takes a fresh epoch, including the in-place re-initialisations the fault
+harness performs, so caller-held workspaces can detect plant changes."""
 
 
 class PowertrainSolver:
@@ -80,6 +106,8 @@ class PowertrainSolver:
         if hasattr(self.engine, "params"):
             self._engine_min_speed = self.engine.params.min_speed
             self._engine_max_speed = self.engine.params.max_speed
+        self._epoch = next(_CONFIG_EPOCHS)
+        self.tables = PowertrainTables(self)
 
     @property
     def params(self) -> VehicleParams:
@@ -87,6 +115,17 @@ class PowertrainSolver:
         return self._params
 
     # ------------------------------------------------------------------ API ---
+
+    def workspace(self, currents: Sequence[float], gears: Sequence[int],
+                  aux_powers: Sequence[float]) -> ActionGridWorkspace:
+        """Bind a fixed candidate action grid to this solver for reuse.
+
+        The returned workspace precomputes every state-independent quantity
+        of the grid and preallocates the per-step buffers; feed it to
+        :meth:`evaluate_grid` each step.  It survives in-place plant
+        rebuilds (fault injection) by re-deriving its statics on demand.
+        """
+        return ActionGridWorkspace(self, currents, gears, aux_powers)
 
     def evaluate_actions(self, speed: float, acceleration: float, soc: float,
                          currents: Sequence[float], gears: Sequence[int],
@@ -97,24 +136,47 @@ class PowertrainSolver:
         ``currents``, ``gears`` and ``aux_powers`` must be index-aligned
         arrays of equal length N; the result is a :class:`BatchResult` of
         length N.  ``soc`` is the pack state of charge as a fraction.
+
+        This compatibility path builds a throwaway workspace per call and
+        therefore owns its output arrays, like the seed implementation;
+        steady-state callers should hold a :meth:`workspace` and use
+        :meth:`evaluate_grid` instead.
         """
-        currents = np.asarray(currents, dtype=float)
-        gears = np.asarray(gears, dtype=int)
-        aux = np.asarray(aux_powers, dtype=float)
-        if not (len(currents) == len(gears) == len(aux)):
+        workspace = ActionGridWorkspace(
+            self, np.array(currents, dtype=float),
+            np.array(gears, dtype=int), np.array(aux_powers, dtype=float))
+        return self.evaluate_grid(workspace, speed, acceleration, soc, dt,
+                                  grade)
+
+    def evaluate_grid(self, workspace: ActionGridWorkspace, speed: float,
+                      acceleration: float, soc: float, dt: float,
+                      grade: float = 0.0) -> BatchResult:
+        """Resolve the workspace's action grid for one driver demand.
+
+        The hot path: all grid statics and buffers come from ``workspace``,
+        so the returned :class:`BatchResult` aliases workspace storage and
+        is only valid until the next ``evaluate_grid`` call on the same
+        workspace (copy what must survive).
+        """
+        if workspace.solver is not self:
             raise ConfigurationError(
-                "action component arrays must be index-aligned")
+                "workspace is bound to a different solver")
         if dt <= 0:
             raise ConfigurationError("time step must be positive")
+        workspace.ensure_current()
 
-        wheel_speed = float(self.dynamics.wheel_speed(speed))
-        wheel_torque = float(self.dynamics.wheel_torque(speed, acceleration, grade))
-        p_dem = float(self.dynamics.power_demand(speed, acceleration, grade))
+        # One road-load evaluation serves wheel torque and power demand
+        # (the seed computed it twice with identical inputs).
+        speed_arr = np.asarray(speed, dtype=float)
+        tractive = self.dynamics.road_load(speed, acceleration, grade).total
+        wheel_speed = float(speed_arr / self.tables.wheel_radius)
+        wheel_torque = float(tractive * self.tables.wheel_radius)
+        p_dem = float(tractive * speed_arr)
 
         if wheel_speed <= _SPEED_TOL:
-            return self._standstill(p_dem, currents, gears, aux, soc, dt)
-        return self._moving(wheel_speed, wheel_torque, p_dem, currents, gears,
-                            aux, soc, dt)
+            return self._standstill_grid(workspace, p_dem, float(soc), dt)
+        return self._moving_grid(workspace, wheel_speed, wheel_torque, p_dem,
+                                 float(soc), dt)
 
     def evaluate(self, speed: float, acceleration: float, soc: float,
                  current: float, gear: int, aux_power: float, dt: float,
@@ -145,108 +207,232 @@ class PowertrainSolver:
         return ((soc_next >= p.soc_min - _WINDOW_SLACK - _WINDOW_EDGE_TOL)
                 & (soc_next <= p.soc_max + _WINDOW_SLACK + _WINDOW_EDGE_TOL))
 
-    def _standstill(self, p_dem: float, currents: np.ndarray, gears: np.ndarray,
-                    aux: np.ndarray, soc: float, dt: float) -> BatchResult:
+    def _open_circuit_voltage(self, soc: float) -> np.float64:
+        """Scalar OCV, arithmetically identical to :meth:`Battery.open_circuit_voltage`."""
+        tables = self.tables
+        soc_c = min(max(soc, 0.0), 1.0)
+        return np.float64(tables.voltage_at_empty + tables.voc_span * soc_c)
+
+    def _standstill_grid(self, ws: ActionGridWorkspace, p_dem: float,
+                         soc: float, dt: float) -> BatchResult:
         """Resolve the disengaged-powertrain case (v = 0).
 
         The commanded current is irrelevant: the only battery load is the
         auxiliary draw, so the actual current is whatever sustains ``p_aux``.
         """
-        n = len(currents)
-        i_act = np.asarray(self.battery.current_for_power(aux, soc), dtype=float)
-        i_act = self.battery.clamp_current(i_act)
-        p_batt = np.asarray(self.battery.terminal_power(i_act, soc), dtype=float)
-        soc_next = self._soc_after(i_act, soc, dt)
-        window = self._window_ok(soc_next)
-        zeros = np.zeros(n)
-        meets = np.ones(n, dtype=bool)
-        feasible = window & meets
-        mode = classify(zeros, zeros, np.zeros(n), np.zeros(n, dtype=bool))
+        tables = self.tables
+        voc = self._open_circuit_voltage(soc)
+        # Square through the power ufunc: np.float64 ** 2 (libm pow) can be
+        # 1 ULP off the seed's 0-d-array power, which current_for_power's
+        # discriminant then amplifies into a visible current difference.
+        voc2 = np.float64(np.asarray(voc) ** 2)
+
+        # battery.current_for_power(aux, soc) against the precomputed
+        # per-grid discriminant terms (aux is static per workspace).
+        disc = voc2 - ws.four_rd_aux
+        disc_i = (voc - np.sqrt(np.maximum(disc, 0.0))) / tables.two_rd
+        disc_i = np.where(disc >= 0.0, disc_i, voc / tables.two_rd)
+        chg = voc2 - ws.four_rc_aux
+        chg_i = (voc - np.sqrt(chg)) / tables.two_rc
+        i_act = np.where(ws.aux_nonneg, disc_i, chg_i)
+        i_act = np.minimum(np.maximum(i_act, -tables.max_current),
+                           tables.max_current)
+
+        r_act = np.where(i_act >= 0.0, tables.discharge_resistance,
+                         tables.charge_resistance)
+        p_batt = voc * i_act - r_act * i_act ** 2
+
+        neg_idt = -i_act * dt
+        delta = np.where(i_act >= 0.0, neg_idt,
+                         neg_idt * tables.coulombic_efficiency)
+        charge = soc * tables.capacity + delta
+        soc_next = np.minimum(np.maximum(charge / tables.capacity, 0.0),
+                              1.0)
+        window = ((soc_next >= tables.window_lo)
+                  & (soc_next <= tables.window_hi))
+        feasible = window & ws.ones_bool
+
+        zeros = ws.zeros
         return BatchResult(
-            feasible=feasible, mode=mode, power_demand=p_dem, wheel_speed=0.0,
-            wheel_torque=0.0, gear=gears.copy(), engine_speed=zeros.copy(),
-            engine_torque=zeros.copy(), motor_speed=zeros.copy(),
-            motor_torque=zeros.copy(), battery_current=i_act,
-            battery_power=p_batt, aux_power=aux.copy(), fuel_rate=zeros.copy(),
-            brake_torque=zeros.copy(), meets_demand=meets, window_ok=window,
-            soc_next=soc_next, shortfall=zeros.copy())
+            feasible=feasible, mode=ws.idle_mode, power_demand=p_dem,
+            wheel_speed=0.0, wheel_torque=0.0, gear=ws.gears,
+            engine_speed=zeros, engine_torque=zeros, motor_speed=zeros,
+            motor_torque=zeros, battery_current=i_act, battery_power=p_batt,
+            aux_power=ws.aux, fuel_rate=zeros, brake_torque=zeros,
+            meets_demand=ws.ones_bool, window_ok=window, soc_next=soc_next,
+            shortfall=zeros)
 
-    def _moving(self, wheel_speed: float, wheel_torque: float, p_dem: float,
-                currents: np.ndarray, gears: np.ndarray, aux: np.ndarray,
-                soc: float, dt: float) -> BatchResult:
-        """Resolve the engaged-powertrain case (v > 0) for a batch of actions."""
-        trans = self.transmission
+    def _commanded_torque(self, ws: ActionGridWorkspace, power: np.ndarray,
+                          safe_speed: np.ndarray, t_lim_fp: np.ndarray,
+                          a_fp: np.ndarray) -> np.ndarray:
+        """Motor fixed-point power inversion over workspace scratch buffers.
 
-        omega_eng = np.asarray(trans.engine_speed(wheel_speed, gears), dtype=float)
-        omega_mot = np.asarray(trans.motor_speed(wheel_speed, gears), dtype=float)
-        t_shaft_req = np.asarray(
-            trans.required_shaft_torque(wheel_torque, gears), dtype=float)
+        Same five ``torque <-> efficiency`` sweeps as
+        :meth:`Motor.torque_from_electrical_power`, with the speed-dependent
+        subexpressions (``safe_speed``, torque limit, ``1 - 0.5 ds^2``)
+        precomputed per unique gear and gathered.  The caller applies the
+        zero-speed cutoff.  Returns a workspace buffer.
+        """
+        tables = self.tables
+        eta = ws.buf("fp_eta")
+        torque = ws.buf("fp_torque")
+        tmp = ws.buf("fp_tmp")
+        generating = np.less(power, 0.0, out=ws.bool_buf("fp_generating"))
+        eta.fill(tables.motor_peak_efficiency)
+        for _ in range(5):
+            # torque = where(motoring, power * eta / safe_speed,
+            #                power / (eta * safe_speed))
+            np.multiply(power, eta, out=torque)
+            np.divide(torque, safe_speed, out=torque)
+            np.multiply(eta, safe_speed, out=tmp)
+            np.divide(power, tmp, out=tmp)
+            np.copyto(torque, tmp, where=generating)
+            # eta = clip(peak * ((1 - 0.5 ds^2) - 0.45 dt^2), floor, peak)
+            np.abs(torque, out=tmp)
+            np.divide(tmp, t_lim_fp, out=tmp)
+            np.minimum(tmp, 1.5, out=tmp)
+            np.subtract(tmp, tables.motor_opt_torque_fraction, out=tmp)
+            np.power(tmp, 2.0, out=tmp)
+            np.multiply(tmp, 0.45, out=tmp)
+            np.subtract(a_fp, tmp, out=tmp)
+            np.multiply(tmp, tables.motor_peak_efficiency, out=tmp)
+            np.maximum(tmp, tables.motor_efficiency_floor, out=tmp)
+            np.minimum(tmp, tables.motor_peak_efficiency, out=eta)
+        return torque
 
-        motor_speed_ok = omega_mot <= self._params.motor.max_speed + 1e-9
-        engine_can_run = ((omega_eng >= self._engine_min_speed)
-                          & (omega_eng <= self._engine_max_speed))
+    def _moving_grid(self, ws: ActionGridWorkspace, wheel_speed: float,
+                     wheel_torque: float, p_dem: float, soc: float,
+                     dt: float) -> BatchResult:
+        """Resolve the engaged-powertrain case (v > 0) for an action grid."""
+        if ws.gear_out_of_range:
+            raise IndexError("gear index out of range")
+        tables = self.tables
+        inv = ws.gear_inv
 
-        # Commanded EM torque from the commanded current (the "intent").
-        i_cmd = np.asarray(self.battery.clamp_current(currents), dtype=float)
-        p_batt_cmd = np.asarray(self.battery.terminal_power(i_cmd, soc), dtype=float)
-        p_em_cmd = p_batt_cmd - aux
-        t_em_cmd = np.asarray(
-            self.motor.torque_from_electrical_power(p_em_cmd, omega_mot),
-            dtype=float)
-        t_em_lim = np.asarray(self.motor.max_torque(omega_mot), dtype=float)
-        t_em = np.clip(t_em_cmd, -t_em_lim, t_em_lim)
+        # --- per-unique-gear quantities (G entries, then gathered to N) ---
+        gear_u = ws.gear_unique
+        ratio_u = tables.ratios[gear_u]
+        omega_eng_u = wheel_speed * ratio_u
+        omega_mot_u = omega_eng_u * tables.reduction_ratio
+        motor_ok_u = omega_mot_u <= tables.motor_speed_bound
+        can_run_u = ((omega_eng_u >= tables.engine_min_speed)
+                     & (omega_eng_u <= tables.engine_max_speed))
+        t_em_lim_u = np.asarray(self.motor.max_torque(omega_mot_u),
+                                dtype=float)
+        neg_lim_u = -t_em_lim_u
+        # The demanded shaft torque keeps the sign of the wheel torque for
+        # every gear (ratios and efficiencies are positive), so the braking
+        # decision is uniform across the batch and the directional branches
+        # of the Eq. 8 inversions collapse to scalar Python branches.
+        braking = wheel_torque < 0.0
+        if braking:
+            t_shaft_u = wheel_torque * tables.gearbox_efficiency / ratio_u
+            t_em_dem_u = t_shaft_u / tables.rho_x_inv_red_eta
+        else:
+            t_shaft_u = wheel_torque / tables.ratio_x_gb_eta[gear_u]
+            t_em_dem_u = t_shaft_u / tables.rho_x_red_eta
+        # Fixed-point inversion statics.
+        safe_speed_u = np.maximum(omega_mot_u, 1e-6)
+        t_lim_fp_u = np.maximum(t_em_lim_u, 1e-9)
+        ds_u = (omega_mot_u / tables.motor_max_speed
+                - tables.motor_opt_speed_fraction)
+        a_u = 1.0 - 0.5 * ds_u ** 2
+        spd_all_pos = bool((omega_mot_u > 1e-6).all())
 
-        braking = t_shaft_req < 0.0
-        # EM torque needed to meet the full shaft demand alone (for EV-only
-        # operation and for bounding regen).
-        t_em_demand = np.asarray(
-            trans.motor_torque_from_shaft(t_shaft_req), dtype=float)
+        omega_mot = omega_mot_u.take(inv)
+        motor_ok = motor_ok_u.take(inv)
+        t_shaft = t_shaft_u.take(inv)
+        t_em_lim = t_em_lim_u.take(inv)
+        neg_lim = neg_lim_u.take(inv)
+        safe_speed = safe_speed_u.take(inv)
+        t_lim_fp = t_lim_fp_u.take(inv)
+        a_fp = a_u.take(inv)
 
-        # --- braking: engine declutched, regen bounded by demand and envelope
-        t_em_brk = np.clip(t_em, np.maximum(-t_em_lim, t_em_demand), 0.0)
+        # --- commanded EM torque from the commanded current (the "intent") ---
+        voc = self._open_circuit_voltage(soc)
+        # Ufunc square, not scalar pow — see the note in _standstill_grid.
+        voc2 = np.float64(np.asarray(voc) ** 2)
+        p_batt_cmd = voc * ws.i_cmd - ws.ri2_cmd
+        p_em_cmd = p_batt_cmd - ws.aux
+        t_em_cmd = self._commanded_torque(ws, p_em_cmd, safe_speed, t_lim_fp,
+                                          a_fp)
+        if not spd_all_pos:
+            np.copyto(t_em_cmd, 0.0, where=(~(omega_mot_u > 1e-6)).take(inv))
+        t_em = np.minimum(np.maximum(t_em_cmd, neg_lim), t_em_lim)
 
-        # --- motoring: engine makes up the remainder, cannot absorb surplus
-        shaft_from_em = np.asarray(trans.motor_torque_at_shaft(t_em), dtype=float)
-        t_ice_raw = t_shaft_req - shaft_from_em
-        t_ice_max = np.asarray(self.engine.max_torque(omega_eng), dtype=float)
-        ev_only = (~engine_can_run) | (t_ice_raw <= _TORQUE_TOL)
-        # EV-only: the EM must carry the whole demand by itself.
-        t_em_ev = np.clip(t_em_demand, -t_em_lim, t_em_lim)
-        ev_meets = np.abs(t_em_ev - t_em_demand) <= _TORQUE_TOL
-        # Engine-assisted: engine clipped at wide-open throttle.
-        t_ice_mot = np.clip(t_ice_raw, 0.0, t_ice_max)
-        eng_meets = t_ice_raw <= t_ice_max + _TORQUE_TOL
+        if braking:
+            # --- engine declutched, regen bounded by demand and envelope ---
+            brk_lo = np.maximum(neg_lim_u, t_em_dem_u).take(inv)
+            t_em_final = np.minimum(np.maximum(t_em, brk_lo), 0.0)
+            t_ice_final = ws.zeros
+            meets = motor_ok
+            engine_off = ws.ones_bool
+            omega_eng_final = ws.zeros
+            shortfall = np.where(motor_ok, 0.0, np.abs(t_shaft))
+        else:
+            # --- motoring: engine makes up the remainder, cannot absorb surplus
+            eta_elem = np.where(t_em >= 0.0, tables.reduction_efficiency,
+                                tables.inv_reduction_efficiency)
+            shaft_from_em = tables.reduction_ratio * t_em * eta_elem
+            t_ice_raw = t_shaft - shaft_from_em
+            t_ice_max_u = np.asarray(self.engine.max_torque(omega_eng_u),
+                                     dtype=float)
+            t_ice_max = t_ice_max_u.take(inv)
+            can_run = can_run_u.take(inv)
+            ev_only = (~can_run) | (t_ice_raw <= _TORQUE_TOL)
+            # EV-only: the EM must carry the whole demand by itself.
+            t_em_ev_u = np.minimum(np.maximum(t_em_dem_u, neg_lim_u),
+                                   t_em_lim_u)
+            t_em_ev = t_em_ev_u.take(inv)
+            ev_meets = (np.abs(t_em_ev_u - t_em_dem_u)
+                        <= _TORQUE_TOL).take(inv)
+            # Engine-assisted: engine clipped at wide-open throttle.
+            t_ice_mot = np.minimum(np.maximum(t_ice_raw, 0.0), t_ice_max)
+            eng_meets = t_ice_raw <= t_ice_max + _TORQUE_TOL
 
-        t_em_final = np.where(braking, t_em_brk, np.where(ev_only, t_em_ev, t_em))
-        t_ice_final = np.where(braking | ev_only, 0.0, t_ice_mot)
-        meets = np.where(braking, True, np.where(ev_only, ev_meets, eng_meets))
-        meets = meets & motor_speed_ok
-        # Engine speed collapses to zero when it produces no torque (declutched).
-        engine_off = t_ice_final <= _TORQUE_TOL
-        omega_eng_final = np.where(engine_off, 0.0, omega_eng)
+            t_em_final = np.where(ev_only, t_em_ev, t_em)
+            t_ice_final = np.where(ev_only, 0.0, t_ice_mot)
+            meets = np.where(ev_only, ev_meets, eng_meets) & motor_ok
+            # Engine speed collapses to zero when it produces no torque.
+            engine_off = t_ice_final <= _TORQUE_TOL
+            omega_eng_final = np.where(engine_off, 0.0,
+                                       omega_eng_u.take(inv))
 
-        # Undelivered shaft torque for graceful fallback ranking.
-        delivered_shaft = (t_ice_final
-                           + np.asarray(trans.motor_torque_at_shaft(t_em_final),
-                                        dtype=float))
-        shortfall = np.where(braking, 0.0,
-                             np.maximum(t_shaft_req - delivered_shaft, 0.0))
-        shortfall = np.where(motor_speed_ok, shortfall, np.abs(t_shaft_req))
+            # Undelivered shaft torque for graceful fallback ranking.
+            eta_fin = np.where(t_em_final >= 0.0, tables.reduction_efficiency,
+                               tables.inv_reduction_efficiency)
+            delivered = t_ice_final + tables.reduction_ratio * t_em_final * eta_fin
+            shortfall = np.maximum(t_shaft - delivered, 0.0)
+            shortfall = np.where(motor_ok, shortfall, np.abs(t_shaft))
 
-        # Actual electrical balance after saturation.
-        p_em_act = np.asarray(
-            self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
-        p_batt_act = p_em_act + aux
-        i_act = np.asarray(self.battery.current_for_power(p_batt_act, soc),
-                           dtype=float)
+        # --- actual electrical balance after saturation ---
+        # motor.electrical_power with the per-gear efficiency statics.
+        mech = t_em_final * omega_mot
+        tf_act = np.minimum(np.abs(t_em_final) / t_lim_fp, 1.5)
+        dt_act = tf_act - tables.motor_opt_torque_fraction
+        eta_act = np.minimum(
+            np.maximum(tables.motor_peak_efficiency * (a_fp - 0.45 * dt_act ** 2),
+                       tables.motor_efficiency_floor),
+            tables.motor_peak_efficiency)
+        p_em_act = np.where(mech >= 0.0, mech / eta_act, mech * eta_act)
+        p_batt_act = p_em_act + ws.aux
+        # battery.current_for_power(p_batt_act, soc), inline.
+        disc = voc2 - tables.four_rd * np.maximum(p_batt_act, 0.0)
+        disc_i = (voc - np.sqrt(np.maximum(disc, 0.0))) / tables.two_rd
+        i_act = np.where(disc >= 0.0, disc_i, voc / tables.two_rd)
+        chg = voc2 - tables.four_rc * np.minimum(p_batt_act, 0.0)
+        chg_i = (voc - np.sqrt(chg)) / tables.two_rc
+        i_act = np.where(p_batt_act >= 0.0, i_act, chg_i)
+
         # Regen may exceed the charge-current limit: clamp and shed the excess
-        # regeneration to the friction brakes.
-        over_chg = i_act < -self._params.battery.max_current
-        if np.any(over_chg):
+        # regeneration to the friction brakes.  (Rare; uses the component
+        # models directly, exactly like the reference path.)
+        over_chg = i_act < -tables.max_current
+        if over_chg.any():
             i_clamped = self.battery.clamp_current(i_act)
             p_batt_lim = np.asarray(
                 self.battery.terminal_power(i_clamped, soc), dtype=float)
-            p_em_lim = p_batt_lim - aux
+            p_em_lim = p_batt_lim - ws.aux
             t_em_lim_chg = np.asarray(
                 self.motor.torque_from_electrical_power(p_em_lim, omega_mot),
                 dtype=float)
@@ -254,19 +440,21 @@ class PowertrainSolver:
                                   t_em_final)
             p_em_act = np.asarray(
                 self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
-            p_batt_act = p_em_act + aux
+            p_batt_act = p_em_act + ws.aux
             i_act = np.asarray(self.battery.current_for_power(p_batt_act, soc),
                                dtype=float)
-        current_ok = np.asarray(self.battery.is_current_feasible(i_act))
+        current_ok = np.abs(i_act) <= tables.current_tol
         # Whatever gets executed must be a physical current: clamp to the
         # pack limit (the pre-clamp check above already marked the point
         # infeasible, but the fallback path may still execute it).
-        i_act = np.asarray(self.battery.clamp_current(i_act), dtype=float)
+        i_act = np.minimum(np.maximum(i_act, -tables.max_current),
+                           tables.max_current)
         # Discharge saturation (demand beyond pack power) shows up as the
         # quadratic clamping inside current_for_power; flag it infeasible when
         # the delivered bus power misses the requirement.
-        p_batt_check = np.asarray(self.battery.terminal_power(i_act, soc),
-                                  dtype=float)
+        r_act = np.where(i_act >= 0.0, tables.discharge_resistance,
+                         tables.charge_resistance)
+        p_batt_check = voc * i_act - r_act * i_act ** 2
         power_ok = np.abs(p_batt_check - p_batt_act) <= np.maximum(
             50.0, 0.02 * np.abs(p_batt_act))
         # Discharge starvation: the pack cannot feed the EM the electrical
@@ -274,10 +462,11 @@ class PowertrainSolver:
         # but the fallback path may still execute it, so cut the executed EM
         # torque back to what the delivered bus power can actually feed —
         # otherwise the reported operating point creates energy (motor
-        # mechanical output above its electrical input).
+        # mechanical output above its electrical input).  (Rare; component
+        # models, like the reference path.)
         starved = (~power_ok) & (t_em_final > 0.0)
-        if np.any(starved):
-            p_em_avail = p_batt_check - aux
+        if starved.any():
+            p_em_avail = p_batt_check - ws.aux
             t_em_avail = np.clip(np.asarray(
                 self.motor.torque_from_electrical_power(p_em_avail, omega_mot),
                 dtype=float), 0.0, t_em_lim)
@@ -285,40 +474,83 @@ class PowertrainSolver:
                                   t_em_final)
             p_em_act = np.asarray(
                 self.motor.electrical_power(t_em_final, omega_mot), dtype=float)
-            p_batt_act = p_em_act + aux
+            p_batt_act = p_em_act + ws.aux
             i_act = np.asarray(self.battery.clamp_current(
                 self.battery.current_for_power(p_batt_act, soc)), dtype=float)
             p_batt_check = np.asarray(self.battery.terminal_power(i_act, soc),
                                       dtype=float)
-            delivered_shaft = (t_ice_final + np.asarray(
-                trans.motor_torque_at_shaft(t_em_final), dtype=float))
+            delivered = (t_ice_final + np.asarray(
+                self.transmission.motor_torque_at_shaft(t_em_final),
+                dtype=float))
             shortfall = np.where(braking, 0.0,
-                                 np.maximum(t_shaft_req - delivered_shaft, 0.0))
-            shortfall = np.where(motor_speed_ok, shortfall, np.abs(t_shaft_req))
+                                 np.maximum(t_shaft - delivered, 0.0))
+            shortfall = np.where(motor_ok, shortfall, np.abs(t_shaft))
 
-        soc_next = self._soc_after(i_act, soc, dt)
-        window = self._window_ok(soc_next)
+        # --- Coulomb counting and SoC window ---
+        neg_idt = -i_act * dt
+        delta = np.where(i_act >= 0.0, neg_idt,
+                         neg_idt * tables.coulombic_efficiency)
+        charge = soc * tables.capacity + delta
+        soc_next = np.minimum(np.maximum(charge / tables.capacity, 0.0),
+                              1.0)
+        window = ((soc_next >= tables.window_lo)
+                  & (soc_next <= tables.window_hi))
 
-        fuel = np.asarray(
-            self.engine.fuel_rate(t_ice_final, omega_eng_final), dtype=float)
-        fuel = np.where(engine_off, 0.0, fuel)
-
-        brake = np.where(
-            braking,
-            np.minimum(wheel_torque - np.asarray(
-                trans.wheel_torque(0.0, t_em_final, gears), dtype=float), 0.0),
-            0.0)
+        if braking:
+            fuel = ws.zeros
+            brake = np.minimum(
+                wheel_torque - np.asarray(
+                    self.transmission.wheel_torque(0.0, t_em_final, ws.gears),
+                    dtype=float), 0.0)
+            # With the engine declutched the full classify() collapses to
+            # "regenerating or idle" (engine torque is identically zero).
+            mode = np.where(t_em_final < -_TORQUE_TOL,
+                            int(OperatingMode.REGEN),
+                            int(OperatingMode.IDLE))
+        else:
+            if tables.engine_parametric:
+                # engine.fuel_rate inlined over the per-gear statics; the
+                # declutched elements run through the same arithmetic as the
+                # seed (speed 0) and are zeroed just below.
+                t_max_fuel = np.where(engine_off, 1e-9,
+                                      np.maximum(t_ice_max_u, 1e-9).take(inv))
+                torque_frac = np.minimum(
+                    np.maximum(t_ice_final / t_max_fuel, 0.0), 1.5)
+                ds_eng_u = ((omega_eng_u - tables.eng_opt_speed)
+                            / tables.eng_speed_span)
+                a_eng = np.where(
+                    engine_off, tables.eng_a_at_zero,
+                    (1.0 - tables.eng_speed_falloff * ds_eng_u ** 2).take(inv))
+                dt_eng = torque_frac - tables.eng_opt_torque_fraction
+                eta_eng = np.minimum(np.maximum(
+                    tables.eng_peak_efficiency
+                    * (a_eng - tables.eng_torque_falloff * dt_eng ** 2),
+                    tables.eng_efficiency_floor), tables.eng_peak_efficiency)
+                power_eng = np.maximum(t_ice_final, 0.0) * omega_eng_final
+                load_fuel = power_eng / (eta_eng
+                                         * tables.eng_fuel_energy_density)
+                speed_frac = np.where(
+                    engine_off, 0.0,
+                    (omega_eng_u / tables.eng_fuel_max_speed).take(inv))
+                idle_fuel = tables.eng_idle_fuel_rate * (speed_frac + 0.5)
+                running = omega_eng_final > 1e-9
+                fuel = np.where(running, load_fuel + idle_fuel, 0.0)
+            else:
+                fuel = np.asarray(
+                    self.engine.fuel_rate(t_ice_final, omega_eng_final),
+                    dtype=float)
+            fuel = np.where(engine_off, 0.0, fuel)
+            brake = ws.zeros
+            mode = classify(t_ice_final, t_em_final, wheel_speed, braking)
 
         feasible = meets & window & current_ok & power_ok
-        mode = classify(t_ice_final, t_em_final,
-                        np.full(len(gears), wheel_speed), braking)
 
         return BatchResult(
             feasible=feasible, mode=mode, power_demand=p_dem,
             wheel_speed=wheel_speed, wheel_torque=wheel_torque,
-            gear=gears.copy(), engine_speed=omega_eng_final,
+            gear=ws.gears, engine_speed=omega_eng_final,
             engine_torque=t_ice_final, motor_speed=omega_mot,
             motor_torque=t_em_final, battery_current=i_act,
-            battery_power=p_batt_check, aux_power=aux.copy(), fuel_rate=fuel,
+            battery_power=p_batt_check, aux_power=ws.aux, fuel_rate=fuel,
             brake_torque=brake, meets_demand=meets, window_ok=window,
             soc_next=soc_next, shortfall=shortfall)

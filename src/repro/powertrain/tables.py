@@ -1,0 +1,329 @@
+"""Precomputed per-vehicle tables and reusable action-grid workspaces.
+
+The struct-of-arrays hot path is built on two precomputation layers:
+
+* :class:`PowertrainTables` — every per-:class:`~repro.vehicle.params.VehicleParams`
+  constant the solver kernel needs, extracted **exactly** (no fitting, no
+  interpolation) at :class:`~repro.powertrain.solver.PowertrainSolver`
+  construction: per-gear wheel-speed/torque transform coefficients, battery
+  OCV line and resistance/limit constants, motor-envelope and engine
+  speed-band bounds, and the scalar road-load coefficients.  Because these
+  are the same numbers the component models use, arithmetic against them is
+  bit-identical to calling the models — that is the contract the golden
+  equivalence suite pins.
+* :class:`DenseMaps` — dense sampled views of the nonlinear component
+  surfaces (engine WOT torque + fuel map, motor envelope, battery OCV and
+  power limits).  These are **advisory**: analysis, plotting, and future
+  table-serving layers read them; the exact kernel never interpolates them,
+  so the hot path stays bit-identical to the seed physics.  Built lazily —
+  fault-injection rebuilds the solver's tables per plant change and must
+  not pay for maps it never reads.
+
+:class:`ActionGridWorkspace` binds a *fixed* candidate action grid
+(currents × gears × aux powers) to a solver: everything that does not
+depend on the driver state — clamped commanded currents, their resistive
+power terms, per-unique-gear index maps, standstill discriminant terms —
+is computed once, and every per-step output/scratch array is preallocated
+and reused.  :meth:`repro.powertrain.solver.PowertrainSolver.evaluate_grid`
+evaluates a step into the workspace without allocating; the returned
+:class:`~repro.powertrain.operating_point.BatchResult` views the workspace
+buffers and is only valid until the next ``evaluate_grid`` call on the
+same workspace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import AIR_DENSITY, GRAVITY
+
+
+class PowertrainTables:
+    """Exact precomputed constants for one solver configuration.
+
+    Rebuilt whenever the solver is (re)initialised — including in-place
+    fault-injection rebuilds — so the tables always describe the *current*
+    plant.  All fields are plain floats or small per-gear arrays; building
+    them costs microseconds.
+    """
+
+    def __init__(self, solver) -> None:
+        # Late import: solver.py owns the tolerance constants (and imports
+        # this module at load time).
+        from repro.powertrain.solver import _WINDOW_EDGE_TOL, _WINDOW_SLACK
+
+        params = solver.params
+        body = params.body
+        batt = params.battery
+        trans = params.transmission
+        motor = params.motor
+
+        # --- road load (paper Eq. 5-7), seed association order ---
+        self.wheel_radius = float(body.wheel_radius)
+        self.mass = float(body.mass)
+        self.mass_x_gravity = body.mass * GRAVITY
+        self.rolling_resistance = float(body.rolling_resistance)
+        self.aero_factor = (
+            0.5 * AIR_DENSITY * body.drag_coefficient * body.frontal_area)
+
+        # --- battery (Rint model) ---
+        self.capacity = float(batt.capacity)
+        self.coulombic_efficiency = float(batt.coulombic_efficiency)
+        self.voltage_at_empty = float(batt.voltage_at_empty)
+        self.voc_span = batt.voltage_at_full - batt.voltage_at_empty
+        self.discharge_resistance = float(batt.discharge_resistance)
+        self.charge_resistance = float(batt.charge_resistance)
+        self.four_rd = 4.0 * batt.discharge_resistance
+        self.two_rd = 2.0 * batt.discharge_resistance
+        self.four_rc = 4.0 * batt.charge_resistance
+        self.two_rc = 2.0 * batt.charge_resistance
+        self.max_current = float(batt.max_current)
+        self.current_tol = batt.max_current + 1e-9
+        self.window_lo = batt.soc_min - _WINDOW_SLACK - _WINDOW_EDGE_TOL
+        self.window_hi = batt.soc_max + _WINDOW_SLACK + _WINDOW_EDGE_TOL
+
+        # --- motor envelope / efficiency-map constants ---
+        self.motor_max_speed = float(motor.max_speed)
+        self.motor_speed_bound = motor.max_speed + 1e-9
+        self.motor_peak_efficiency = float(motor.peak_efficiency)
+        self.motor_efficiency_floor = float(motor.efficiency_floor)
+        self.motor_opt_speed_fraction = float(motor.optimal_speed_fraction)
+        self.motor_opt_torque_fraction = float(motor.optimal_torque_fraction)
+
+        # --- engine admissible speed band (honours substituted engines) ---
+        self.engine_min_speed = float(solver._engine_min_speed)
+        self.engine_max_speed = float(solver._engine_max_speed)
+
+        # Fuel-map constants for the parametric engine.  Substituted engine
+        # models (e.g. TabulatedEngine) keep their own fuel methods and the
+        # kernel falls back to calling them, so these are only derived — and
+        # only trusted — when the active engine is the stock class.
+        from repro.vehicle.engine import Engine
+        self.engine_parametric = type(solver.engine) is Engine
+        if self.engine_parametric:
+            ep = solver.engine.params
+            self.eng_peak_efficiency = float(ep.peak_efficiency)
+            self.eng_efficiency_floor = float(ep.efficiency_floor)
+            self.eng_opt_torque_fraction = float(ep.optimal_torque_fraction)
+            self.eng_opt_speed = float(ep.optimal_speed)
+            self.eng_speed_span = ep.max_speed - ep.min_speed
+            self.eng_speed_falloff = float(ep.speed_falloff)
+            self.eng_torque_falloff = float(ep.torque_falloff)
+            self.eng_fuel_energy_density = float(ep.fuel_energy_density)
+            self.eng_idle_fuel_rate = float(ep.idle_fuel_rate)
+            self.eng_fuel_max_speed = float(ep.max_speed)
+            # Efficiency-hill values at crankshaft speed zero (declutched
+            # elements; their fuel is zeroed afterwards but the elementwise
+            # arithmetic must still match the seed bit for bit).
+            ds_zero = (0.0 - ep.optimal_speed) / self.eng_speed_span
+            self.eng_a_at_zero = 1.0 - ep.speed_falloff * (ds_zero * ds_zero)
+
+        # --- transmission (Eq. 8-10) ---
+        self.reduction_ratio = float(trans.reduction_ratio)
+        self.reduction_efficiency = float(trans.reduction_efficiency)
+        self.inv_reduction_efficiency = 1.0 / trans.reduction_efficiency
+        self.gearbox_efficiency = float(trans.gearbox_efficiency)
+        self.inv_gearbox_efficiency = 1.0 / trans.gearbox_efficiency
+        self.num_gears = int(trans.num_gears)
+        self.ratios = np.asarray(trans.gear_ratios, dtype=float)
+        # Denominator of the positive-torque branch of Eq. 8 inversion:
+        # T_shaft = T_wh / (R(k) * eta_gb).
+        self.ratio_x_gb_eta = self.ratios * trans.gearbox_efficiency
+        # Denominators of motor_torque_from_shaft (sign-uniform per step):
+        # s / (rho * eta_red) motoring, s / (rho * (1/eta_red)) generating.
+        self.rho_x_red_eta = trans.reduction_ratio * trans.reduction_efficiency
+        self.rho_x_inv_red_eta = trans.reduction_ratio * (
+            1.0 / trans.reduction_efficiency)
+
+        self._solver = solver
+        self._dense: Optional[DenseMaps] = None
+
+    # ------------------------------------------------------------- helpers ---
+
+    def open_circuit_voltage(self, soc: float) -> float:
+        """Scalar OCV at a state of charge, V (exact seed arithmetic)."""
+        soc = min(max(float(soc), 0.0), 1.0)
+        return self.voltage_at_empty + self.voc_span * soc
+
+    def feasible_gear_mask(self, wheel_speed: float,
+                           engine_needed: bool = True) -> np.ndarray:
+        """Boolean per-gear feasibility at a wheel speed (exact algebra).
+
+        A gear is feasible when the EM stays inside its speed envelope and,
+        if ``engine_needed``, the crankshaft lands inside the engine band —
+        the same comparisons :meth:`Transmission.feasible_gears` makes, but
+        against the precomputed coefficient tables.
+        """
+        omega_eng = wheel_speed * self.ratios
+        ok = omega_eng * self.reduction_ratio <= self.motor_max_speed
+        if engine_needed:
+            ok = ok & ((omega_eng >= self.engine_min_speed)
+                       & (omega_eng <= self.engine_max_speed))
+        return ok
+
+    def dense_maps(self, speed_samples: int = 64,
+                   torque_samples: int = 48,
+                   soc_samples: int = 33) -> "DenseMaps":
+        """The lazily built dense sampled maps (cached per resolution)."""
+        key = (speed_samples, torque_samples, soc_samples)
+        if self._dense is None or self._dense.resolution != key:
+            self._dense = DenseMaps(self._solver, speed_samples,
+                                    torque_samples, soc_samples)
+        return self._dense
+
+
+class DenseMaps:
+    """Dense sampled component surfaces for analysis and serving layers.
+
+    Samples are exact evaluations of the live component models at the grid
+    nodes; between nodes they are what a lookup-table consumer would
+    interpolate.  The solver kernel itself never reads these (see module
+    docstring), so they carry no equivalence burden.
+    """
+
+    def __init__(self, solver, speed_samples: int = 64,
+                 torque_samples: int = 48, soc_samples: int = 33) -> None:
+        if speed_samples < 2 or torque_samples < 2 or soc_samples < 2:
+            raise ConfigurationError(
+                "dense maps need at least two samples per axis")
+        self.resolution = (speed_samples, torque_samples, soc_samples)
+        params = solver.params
+
+        # Engine: WOT curve and fuel map over (speed, torque).
+        self.engine_speeds = np.linspace(solver._engine_min_speed,
+                                         solver._engine_max_speed,
+                                         speed_samples)
+        self.engine_wot = np.asarray(
+            solver.engine.max_torque(self.engine_speeds), dtype=float)
+        t_max = float(np.max(self.engine_wot)) if len(self.engine_wot) else 0.0
+        self.engine_torques = np.linspace(0.0, max(t_max, 1e-9),
+                                          torque_samples)
+        self.engine_fuel = np.asarray(solver.engine.fuel_rate(
+            self.engine_torques[:, None], self.engine_speeds[None, :]),
+            dtype=float)
+
+        # Motor: envelope over rotor speed.
+        self.motor_speeds = np.linspace(0.0, params.motor.max_speed,
+                                        speed_samples)
+        self.motor_envelope = np.asarray(
+            solver.motor.max_torque(self.motor_speeds), dtype=float)
+
+        # Battery: OCV line and directional power limits over SoC.
+        self.soc_grid = np.linspace(0.0, 1.0, soc_samples)
+        self.battery_ocv = np.asarray(
+            solver.battery.open_circuit_voltage(self.soc_grid), dtype=float)
+        self.battery_max_discharge = np.asarray(
+            solver.battery.max_discharge_power(self.soc_grid), dtype=float)
+        self.battery_max_charge = np.asarray(
+            solver.battery.max_charge_power(self.soc_grid), dtype=float)
+
+
+class ActionGridWorkspace:
+    """A fixed candidate action grid bound to a solver, with reusable state.
+
+    Construction validates and freezes the grid; the grid-static arrays
+    (everything independent of the driver state) are derived lazily and
+    re-derived automatically whenever the bound solver is rebuilt in place
+    (fault injection re-runs ``PowertrainSolver.__init__``, which bumps the
+    solver's configuration epoch).
+
+    The per-step output and scratch arrays are preallocated once and
+    **reused** by every :meth:`~repro.powertrain.solver.PowertrainSolver.evaluate_grid`
+    call, so a returned :class:`BatchResult` is a view that is only valid
+    until the next call on the same workspace.  Callers that need to keep a
+    result across steps must copy it (or use ``evaluate_actions``, which
+    allocates).
+    """
+
+    def __init__(self, solver, currents, gears, aux_powers) -> None:
+        currents = np.ascontiguousarray(currents, dtype=float)
+        gears = np.ascontiguousarray(gears, dtype=int)
+        aux = np.ascontiguousarray(aux_powers, dtype=float)
+        if not (len(currents) == len(gears) == len(aux)):
+            raise ConfigurationError(
+                "action component arrays must be index-aligned")
+        self._solver = solver
+        self.currents = currents
+        self.gears = gears
+        self.aux = aux
+        self.n = len(currents)
+        self._epoch = -1
+        self._scratch = {}
+        # Immutable per-grid constants that survive solver rebuilds.  Gear
+        # validation is deferred to the moving kernel so that a standstill
+        # evaluation of out-of-range gears behaves exactly like the seed
+        # solver (which never indexed the ratio table at v = 0).
+        self.gear_out_of_range = bool(
+            self.n and np.any((gears < 0)
+                              | (gears >= solver.transmission.num_gears)))
+        self.gear_unique, self.gear_inv = np.unique(gears,
+                                                    return_inverse=True)
+        self.gear_inv = np.ascontiguousarray(self.gear_inv)
+        self.n_unique = len(self.gear_unique)
+        self.aux_max0 = np.maximum(aux, 0.0)
+        self.aux_min0 = np.minimum(aux, 0.0)
+        self.aux_nonneg = aux >= 0.0
+        self.zeros = np.zeros(self.n)
+        self.ones_bool = np.ones(self.n, dtype=bool)
+        self.idle_mode = np.zeros(self.n, dtype=int)
+        self._sync()
+
+    # ----------------------------------------------------------- lifecycle ---
+
+    @property
+    def solver(self):
+        """The solver this workspace is bound to."""
+        return self._solver
+
+    def _sync(self) -> None:
+        """Re-derive grid statics from the solver's current tables."""
+        tables = self._solver.tables
+        self.i_cmd = np.clip(self.currents, -tables.max_current,
+                             tables.max_current)
+        r_cmd = np.where(self.i_cmd >= 0.0, tables.discharge_resistance,
+                         tables.charge_resistance)
+        self.ri2_cmd = r_cmd * self.i_cmd ** 2
+        # Standstill current-for-power discriminant terms over the static
+        # auxiliary draws (seed association: (4 R) * clamped power).
+        self.four_rd_aux = tables.four_rd * self.aux_max0
+        self.four_rc_aux = tables.four_rc * self.aux_min0
+        # A plant rebuild may change the gear count (exotic, but cheap to
+        # keep correct).
+        self.gear_out_of_range = bool(
+            self.n and np.any((self.gears < 0)
+                              | (self.gears >= tables.num_gears)))
+        self._epoch = self._solver._epoch
+
+    def ensure_current(self) -> None:
+        """Refresh grid statics if the solver was rebuilt since last use."""
+        if self._epoch != self._solver._epoch:
+            self._sync()
+
+    # ------------------------------------------------------------- buffers ---
+
+    def buf(self, name: str) -> np.ndarray:
+        """A reusable float scratch/output array of grid length."""
+        arr = self._scratch.get(name)
+        if arr is None:
+            arr = np.empty(self.n)
+            self._scratch[name] = arr
+        return arr
+
+    def bool_buf(self, name: str) -> np.ndarray:
+        """A reusable boolean scratch/output array of grid length."""
+        arr = self._scratch.get(name)
+        if arr is None:
+            arr = np.empty(self.n, dtype=bool)
+            self._scratch[name] = arr
+        return arr
+
+    def unique_buf(self, name: str) -> np.ndarray:
+        """A reusable float scratch array of unique-gear length."""
+        arr = self._scratch.get(name)
+        if arr is None:
+            arr = np.empty(self.n_unique)
+            self._scratch[name] = arr
+        return arr

@@ -111,6 +111,10 @@ class ExecutedStep:
     power_demand: float
     """Driver propulsion power demand of the step, W."""
 
+    shortfall: float = 0.0
+    """Torque the executed point failed to deliver, N·m (0 when demand
+    was met; defaults for controllers predating the shortfall trace)."""
+
 
 class JointControlAgent:
     """RL agent jointly controlling battery current, gear, and p_aux."""
@@ -195,6 +199,12 @@ class JointControlAgent:
             self.num_rl_actions = grid.shape[1]
         self.current_levels = currents
         self.aux_levels = aux_levels
+        # One workspace for the life of the agent: the candidate grid is
+        # fixed, so its statics (clamped currents, resistive terms, unique
+        # gears) are computed once here and the per-step solver call reuses
+        # the same preallocated buffers instead of rebuilding the grid.
+        self._workspace = self.solver.workspace(
+            self._grid_currents, self._grid_gears, self._grid_aux)
 
     # --------------------------------------------------------------- acting ---
 
@@ -254,9 +264,8 @@ class JointControlAgent:
             prev_state, prev_action, prev_reward = self._pending
             self.learner.update(prev_state, prev_action, prev_reward, state)
 
-        batch = self.solver.evaluate_actions(
-            speed, acceleration, soc, self._grid_currents, self._grid_gears,
-            self._grid_aux, dt, grade)
+        batch = self.solver.evaluate_grid(
+            self._workspace, speed, acceleration, soc, dt, grade)
         rewards = np.asarray(self.reward(
             batch.fuel_rate, batch.aux_power, dt, soc_next=batch.soc_next,
             soc_prev=soc, shortfall=batch.shortfall), dtype=float)
@@ -296,7 +305,76 @@ class JointControlAgent:
             soc_next=float(batch.soc_next[prim]),
             reward=reward, paper_reward=paper_reward,
             feasible=not fallback, mode=int(batch.mode[prim]),
-            power_demand=p_dem)
+            power_demand=p_dem, shortfall=float(batch.shortfall[prim]))
+
+    def act_batch(self, speeds, accelerations, socs, dt: float,
+                  grades=None) -> list:
+        """Greedy policy probe over N independent observations.
+
+        Answers "what would the trained policy do in each of these
+        situations" without mutating any agent state: no TD update, no
+        pending transition, no predictor/exploration advance (the
+        prediction level is read from the predictor's current state).
+        Each observation still gets the full vectorised grid evaluation
+        through the shared workspace.  Returns one :class:`ExecutedStep`
+        per observation.
+        """
+        speeds = np.asarray(speeds, dtype=float)
+        accelerations = np.asarray(accelerations, dtype=float)
+        socs = np.asarray(socs, dtype=float)
+        if grades is None:
+            grades = np.zeros(len(speeds))
+        else:
+            grades = np.asarray(grades, dtype=float)
+        if not (len(speeds) == len(accelerations) == len(socs)
+                == len(grades)):
+            raise ValueError(
+                "speeds, accelerations, socs, and grades must be "
+                "index-aligned")
+        level = 0
+        if self.predictor is not None:
+            level = self.quantizer(self.predictor.predict())
+
+        steps = []
+        for i in range(len(speeds)):
+            speed = float(speeds[i])
+            accel = float(accelerations[i])
+            soc = float(socs[i])
+            grade = float(grades[i])
+            p_dem = float(self.solver.dynamics.power_demand(speed, accel,
+                                                            grade))
+            state = self.discretizer.state_of(p_dem, speed, soc, level)
+            batch = self.solver.evaluate_grid(
+                self._workspace, speed, accel, soc, dt, grade)
+            rewards = np.asarray(self.reward(
+                batch.fuel_rate, batch.aux_power, dt,
+                soc_next=batch.soc_next, soc_prev=soc,
+                shortfall=batch.shortfall), dtype=float)
+            feasible_group, best_primitive = self._reduce(batch, rewards)
+            masked = np.where(feasible_group,
+                              self.learner.qtable.row(state), -np.inf)
+            if np.any(feasible_group):
+                rl_action = int(np.argmax(masked))
+                prim = int(best_primitive[rl_action])
+                fallback = False
+            else:
+                rl_action = int(np.argmax(self.learner.qtable.row(state)))
+                prim = self._fallback_primitive(batch)
+                fallback = True
+            steps.append(ExecutedStep(
+                state=state, rl_action=rl_action,
+                current=float(batch.battery_current[prim]),
+                gear=int(batch.gear[prim]),
+                aux_power=float(batch.aux_power[prim]),
+                fuel_rate=float(batch.fuel_rate[prim]),
+                soc_next=float(batch.soc_next[prim]),
+                reward=float(rewards[prim]),
+                paper_reward=float(self.reward.paper_reward(
+                    batch.fuel_rate[prim], batch.aux_power[prim], dt)),
+                feasible=not fallback, mode=int(batch.mode[prim]),
+                power_demand=p_dem,
+                shortfall=float(batch.shortfall[prim])))
+        return steps
 
     # -------------------------------------------------------- monitor hooks ---
 

@@ -6,6 +6,7 @@ agent, the rule-based baseline, ECMS, ...), tracking battery charge by
 Coulomb counting and accumulating fuel, reward, and diagnostic traces.
 """
 
+from repro.sim.buffers import EpisodeBuffers
 from repro.sim.results import EpisodeResult
 from repro.sim.simulator import Simulator
 from repro.sim.training import TrainingRun, evaluate, evaluate_stationary, train
@@ -17,6 +18,7 @@ from repro.sim.robustness import (
 )
 
 __all__ = [
+    "EpisodeBuffers",
     "EpisodeResult",
     "Simulator",
     "TrainingRun",

@@ -1,0 +1,89 @@
+"""Preallocated struct-of-arrays storage for episode traces.
+
+The simulator's step loop writes one slot per step into a fixed set of
+per-quantity arrays (speeds, power demand, fuel, rewards, SoC, current,
+gear, auxiliary draw, mode, feasibility, shortfall, fault flags).  A
+:class:`EpisodeBuffers` owns those arrays and is reused across episodes:
+training loops drive hundreds of episodes over the same cycle, and
+reusing one allocation instead of eleven fresh ``np.zeros`` per episode
+keeps the hot loop free of allocator traffic.
+
+Ownership contract: the live arrays belong to the buffer and are
+overwritten by the next episode.  Anything that must outlive the episode
+(i.e. everything stored in :class:`repro.sim.results.EpisodeResult`) is
+taken out through :meth:`EpisodeBuffers.take`, which returns an
+independent copy of the written prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+FLOAT_FIELDS = ("speeds", "power_demand", "fuel_rate", "reward",
+                "paper_reward", "soc", "current", "aux_power", "shortfall")
+"""Float64 per-step trace arrays the simulator fills."""
+
+INT_FIELDS = ("gear", "mode")
+"""Integer per-step trace arrays."""
+
+BOOL_FIELDS = ("feasible", "fault_active")
+"""Boolean per-step trace arrays."""
+
+
+class EpisodeBuffers:
+    """Reusable struct-of-arrays episode storage.
+
+    Attributes named by :data:`FLOAT_FIELDS` / :data:`INT_FIELDS` /
+    :data:`BOOL_FIELDS` are the live numpy arrays; index them with the
+    step counter.  Call :meth:`reserve` once per episode before writing
+    and :meth:`take` to copy a trace out at episode end.
+    """
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = 0
+        self._allocate(int(capacity))
+
+    def _allocate(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                "episode buffer capacity cannot be negative")
+        for name in FLOAT_FIELDS:
+            setattr(self, name, np.zeros(capacity))
+        for name in INT_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=int))
+        for name in BOOL_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=bool))
+        self.capacity = capacity
+
+    def reserve(self, steps: int) -> None:
+        """Make every trace array at least ``steps`` long and zero the
+        written region.
+
+        Growth is geometric so a training loop that alternates between
+        cycle lengths settles on one allocation; shrinking never happens.
+        Zeroing keeps the per-episode state identical to the historical
+        fresh-``np.zeros`` arrays.
+        """
+        if steps < 0:
+            raise ConfigurationError("episode length cannot be negative")
+        if steps > self.capacity:
+            self._allocate(max(steps, 2 * self.capacity))
+        else:
+            for name in FLOAT_FIELDS + INT_FIELDS + BOOL_FIELDS:
+                getattr(self, name)[:steps] = 0
+
+    def take(self, name: str, steps: int) -> np.ndarray:
+        """Independent copy of the first ``steps`` entries of one trace.
+
+        This is the only supported way to keep a trace beyond the current
+        episode; the live array is overwritten by the next ``reserve``.
+        """
+        if name not in FLOAT_FIELDS + INT_FIELDS + BOOL_FIELDS:
+            raise ConfigurationError(f"unknown episode trace {name!r}")
+        if steps > self.capacity:
+            raise ConfigurationError(
+                f"cannot take {steps} steps of {name!r}; only "
+                f"{self.capacity} are allocated")
+        return getattr(self, name)[:steps].copy()

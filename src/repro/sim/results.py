@@ -80,6 +80,10 @@ class EpisodeResult:
     """Per-step flag marking steps driven with at least one fault at
     nonzero severity; ``None`` for runs without fault injection."""
 
+    shortfall: Optional[np.ndarray] = None
+    """Per-step undelivered shaft torque, N·m (zero where the demand was
+    met; ``None`` for results predating the shortfall trace)."""
+
     safety: Optional["SafetyReport"] = None  # noqa: F821 — see below
     """The :class:`repro.safety.SafetyReport` of the episode when the
     controller was wrapped in a safety supervisor; ``None`` otherwise.
@@ -176,6 +180,14 @@ class EpisodeResult:
         """
         return int(np.sum((self.soc < soc_min - tolerance)
                           | (self.soc > soc_max + tolerance)))
+
+    @property
+    def total_shortfall(self) -> float:
+        """Cumulative undelivered shaft torque over the trip, N·m·steps
+        (0.0 when the result carries no shortfall trace)."""
+        if self.shortfall is None:
+            return 0.0
+        return float(np.sum(self.shortfall))
 
     @property
     def mean_aux_power(self) -> float:

@@ -5,6 +5,12 @@ the controller only what is observable, applies the executed action to the
 battery by Coulomb counting, and collects the traces into an
 :class:`EpisodeResult`.
 
+Traces are written into preallocated struct-of-arrays episode buffers
+(:class:`repro.sim.buffers.EpisodeBuffers`) that the simulator reuses
+across episodes; the returned :class:`EpisodeResult` owns independent
+copies, so results remain valid across training loops (see
+``docs/PERFORMANCE.md``).
+
 Two robustness layers run inside the step loop:
 
 * **Fault injection** — ``run_episode(..., faults=...)`` drives a
@@ -24,14 +30,12 @@ Two robustness layers run inside the step loop:
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
-
-import numpy as np
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
 from repro.errors import ConfigurationError, NumericalError
 from repro.powertrain.solver import PowertrainSolver
+from repro.sim.buffers import EpisodeBuffers
 from repro.sim.results import EpisodeResult
 from repro.vehicle.battery import BatteryState
 
@@ -41,6 +45,15 @@ class Simulator:
 
     def __init__(self, solver: PowertrainSolver):
         self._solver = solver
+        # Struct-of-arrays episode storage, reused across episodes (the
+        # step loop writes slots; EpisodeResult gets copies at the end).
+        self._buffers = EpisodeBuffers()
+        # Harnesses built from bare FaultSchedules, keyed by schedule
+        # identity: repeated degraded episodes over the same schedule then
+        # reuse one harness instead of re-instantiating it per episode
+        # (begin_episode re-seeds the fault RNG, so reuse is reproducible).
+        # The stored schedule reference keeps the id stable.
+        self._harness_cache = {}
 
     @property
     def solver(self) -> PowertrainSolver:
@@ -54,7 +67,12 @@ class Simulator:
         from repro.faults.harness import FaultHarness
         from repro.faults.schedule import FaultSchedule
         if isinstance(faults, FaultSchedule):
-            return FaultHarness(self._solver, faults)
+            cached = self._harness_cache.get(id(faults))
+            if cached is not None and cached[0] is faults:
+                return cached[1]
+            harness = FaultHarness(self._solver, faults)
+            self._harness_cache[id(faults)] = (faults, harness)
+            return harness
         if isinstance(faults, FaultHarness):
             if faults.solver is not self._solver:
                 raise ConfigurationError(
@@ -92,18 +110,8 @@ class Simulator:
         state = battery.initial_state(initial_soc)
 
         steps = len(cycle) - 1
-        fuel = np.zeros(steps)
-        reward = np.zeros(steps)
-        paper_reward = np.zeros(steps)
-        soc_trace = np.zeros(steps)
-        current = np.zeros(steps)
-        gear = np.zeros(steps, dtype=int)
-        aux = np.zeros(steps)
-        mode = np.zeros(steps, dtype=int)
-        feasible = np.zeros(steps, dtype=bool)
-        p_dem = np.zeros(steps)
-        speeds = np.zeros(steps)
-        fault_active = np.zeros(steps, dtype=bool) if harness else None
+        buffers = self._buffers
+        buffers.reserve(steps)
 
         controller.begin_episode()
         if harness is not None:
@@ -122,7 +130,7 @@ class Simulator:
                         # with the pack.
                         state = BatteryState(
                             charge=state.charge * capacity / capacity_before)
-                    fault_active[t] = harness.active
+                    buffers.fault_active[t] = harness.active
                 soc = battery.soc(state)
 
                 obs_speed, obs_soc = speed, soc
@@ -138,6 +146,7 @@ class Simulator:
                 exec_aux = step.aux_power
                 exec_mode = step.mode
                 exec_feasible = step.feasible
+                exec_shortfall = step.shortfall
                 if harness is not None and harness.signals_active:
                     # The controller resolved its action against distorted
                     # observations (and without the parasitic load); what
@@ -152,23 +161,25 @@ class Simulator:
                     exec_aux = point.aux_power
                     exec_mode = int(point.mode)
                     exec_feasible = bool(point.feasible)
+                    exec_shortfall = float(point.shortfall)
 
                 self._watchdog(t, current=exec_current, fuel_rate=exec_fuel,
                                reward=step.reward, soc=soc)
                 state = battery.step(state, exec_current, cycle.dt)
                 self._watchdog(t, charge=state.charge)
 
-                speeds[t] = speed
-                p_dem[t] = step.power_demand
-                fuel[t] = exec_fuel
-                reward[t] = step.reward
-                paper_reward[t] = step.paper_reward
-                soc_trace[t] = battery.soc(state)
-                current[t] = exec_current
-                gear[t] = step.gear
-                aux[t] = exec_aux
-                mode[t] = exec_mode
-                feasible[t] = exec_feasible
+                buffers.speeds[t] = speed
+                buffers.power_demand[t] = step.power_demand
+                buffers.fuel_rate[t] = exec_fuel
+                buffers.reward[t] = step.reward
+                buffers.paper_reward[t] = step.paper_reward
+                buffers.soc[t] = battery.soc(state)
+                buffers.current[t] = exec_current
+                buffers.gear[t] = step.gear
+                buffers.aux_power[t] = exec_aux
+                buffers.mode[t] = exec_mode
+                buffers.feasible[t] = exec_feasible
+                buffers.shortfall[t] = exec_shortfall
             controller.finish_episode(learn=learn)
         finally:
             if harness is not None:
@@ -187,12 +198,24 @@ class Simulator:
         params = battery.params
         nominal_voltage = float(battery.open_circuit_voltage(
             0.5 * (params.soc_min + params.soc_max)))
+        # The buffers are reused by the next episode; the result owns copies.
         return EpisodeResult(
             cycle_name=cycle.name, dt=cycle.dt, distance=cycle.distance,
-            speeds=speeds, power_demand=p_dem, fuel_rate=fuel, reward=reward,
-            paper_reward=paper_reward, soc=soc_trace, current=current,
-            gear=gear, aux_power=aux, mode=mode, feasible=feasible,
+            speeds=buffers.take("speeds", steps),
+            power_demand=buffers.take("power_demand", steps),
+            fuel_rate=buffers.take("fuel_rate", steps),
+            reward=buffers.take("reward", steps),
+            paper_reward=buffers.take("paper_reward", steps),
+            soc=buffers.take("soc", steps),
+            current=buffers.take("current", steps),
+            gear=buffers.take("gear", steps),
+            aux_power=buffers.take("aux_power", steps),
+            mode=buffers.take("mode", steps),
+            feasible=buffers.take("feasible", steps),
             initial_soc=initial_soc, battery_capacity=params.capacity,
             nominal_voltage=nominal_voltage,
             fuel_energy_density=self._solver.engine.fuel_energy_density,
-            fault_active=fault_active, safety=safety_report)
+            fault_active=(buffers.take("fault_active", steps)
+                          if harness is not None else None),
+            shortfall=buffers.take("shortfall", steps),
+            safety=safety_report)

@@ -4,6 +4,11 @@ Training repeats the drive cycle for a number of episodes with learning and
 annealed exploration enabled, then evaluates the greedy policy with
 learning switched off.  The per-episode histories let the ablation benches
 plot convergence (reward versus episode).
+
+Every episode streams through the simulator's reusable struct-of-arrays
+buffers (:mod:`repro.sim.buffers`); the stored :class:`EpisodeResult`
+objects own independent copies, and :meth:`TrainingRun.curves` exposes
+the whole run as index-aligned arrays for machine-readable reporting.
 """
 
 from __future__ import annotations
@@ -40,6 +45,29 @@ class TrainingRun:
     def paper_reward_curve(self) -> List[float]:
         """Cumulative unpenalised reward per training episode."""
         return [e.total_paper_reward for e in self.episodes]
+
+    def curves(self) -> dict:
+        """Per-episode training trajectory as struct-of-arrays.
+
+        One float64 array per figure of merit (``reward``,
+        ``paper_reward``, ``fuel_g``, ``final_soc``, ``fallback_steps``),
+        index-aligned with :attr:`episodes` — the machine-readable form
+        the benches and the perf trajectory emit.
+        """
+        n = len(self.episodes)
+        return {
+            "reward": np.fromiter(
+                (e.total_reward for e in self.episodes), float, count=n),
+            "paper_reward": np.fromiter(
+                (e.total_paper_reward for e in self.episodes), float,
+                count=n),
+            "fuel_g": np.fromiter(
+                (e.total_fuel for e in self.episodes), float, count=n),
+            "final_soc": np.fromiter(
+                (e.final_soc for e in self.episodes), float, count=n),
+            "fallback_steps": np.fromiter(
+                (e.fallback_steps for e in self.episodes), float, count=n),
+        }
 
 
 def _checkpoint_agent(controller: Controller):

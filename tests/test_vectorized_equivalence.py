@@ -1,0 +1,216 @@
+"""Golden equivalence: the vectorized hot path vs the frozen seed solver.
+
+The struct-of-arrays kernel (``repro.powertrain.solver``) must reproduce
+the pre-refactor physics **bit-identically** — no tolerance.  The frozen
+implementation lives in ``repro.powertrain.reference``:
+
+* :class:`ReferencePowertrainSolver` — the seed batched path, verbatim;
+* :class:`ScalarReferenceSolver` — the same physics one action at a time.
+
+Covered here: randomized (speed, accel, SoC, grade) grids, full episodes
+on every built-in cycle, guarded (:class:`SafetySupervisor`) runs, and
+fault-scenario runs (plant + sensor faults).  Any mismatch in any trace
+field is a regression in the optimised kernel, not an acceptable drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.rl_controller import RLController, build_rl_controller
+from repro.cycles import STANDARD_SPECS, standard_cycle
+from repro.faults.harness import FaultHarness
+from repro.faults.scenarios import builtin_scenarios
+from repro.powertrain import PowertrainSolver
+from repro.powertrain.reference import (
+    ReferencePowertrainSolver,
+    ScalarReferenceSolver,
+)
+from repro.safety import SafetySupervisor
+from repro.sim import Simulator
+from repro.vehicle import default_vehicle
+
+BATCH_FIELDS = (
+    "feasible", "mode", "gear", "engine_speed", "engine_torque",
+    "motor_speed", "motor_torque", "battery_current", "battery_power",
+    "aux_power", "fuel_rate", "brake_torque", "meets_demand", "window_ok",
+    "soc_next", "shortfall")
+
+BATCH_SCALARS = ("power_demand", "wheel_speed", "wheel_torque")
+
+EPISODE_FIELDS = (
+    "speeds", "power_demand", "fuel_rate", "reward", "paper_reward", "soc",
+    "current", "gear", "aux_power", "mode", "feasible", "shortfall")
+
+
+def assert_batches_identical(fast, ref):
+    for name in BATCH_FIELDS:
+        a, b = getattr(fast, name), getattr(ref, name)
+        assert np.array_equal(a, b), (
+            f"BatchResult.{name} diverged: {a} vs {b}")
+    for name in BATCH_SCALARS:
+        assert float(getattr(fast, name)) == float(getattr(ref, name)), name
+
+
+def assert_episodes_identical(fast, ref):
+    for name in EPISODE_FIELDS:
+        a, b = getattr(fast, name), getattr(ref, name)
+        assert np.array_equal(a, b), f"EpisodeResult.{name} diverged"
+    if ref.fault_active is None:
+        assert fast.fault_active is None
+    else:
+        assert np.array_equal(fast.fault_active, ref.fault_active)
+
+
+def random_state(rng):
+    """One randomized driver demand, biased toward interesting regimes."""
+    regime = rng.integers(4)
+    if regime == 0:                       # standstill
+        speed = 0.0
+        accel = float(rng.uniform(-0.5, 0.5))
+    elif regime == 1:                     # braking
+        speed = float(rng.uniform(2.0, 30.0))
+        accel = float(rng.uniform(-3.0, -0.2))
+    else:                                 # cruising / accelerating
+        speed = float(rng.uniform(0.5, 35.0))
+        accel = float(rng.uniform(-0.5, 2.5))
+    soc = float(rng.uniform(0.30, 0.90))
+    grade = float(rng.choice([0.0, 0.0, rng.uniform(-0.08, 0.08)]))
+    return speed, accel, soc, grade
+
+
+def random_grid(rng, num_gears):
+    n = int(rng.integers(1, 40))
+    currents = rng.uniform(-90.0, 90.0, n)
+    gears = rng.integers(0, num_gears, n)
+    aux = rng.uniform(0.0, 2200.0, n)
+    return currents, gears, aux
+
+
+@pytest.fixture(scope="module")
+def solvers():
+    return (PowertrainSolver(default_vehicle()),
+            ReferencePowertrainSolver(default_vehicle()))
+
+
+class TestRandomizedGrids:
+    def test_randomized_states_and_grids(self, solvers):
+        fast, ref = solvers
+        rng = np.random.default_rng(2024)
+        num_gears = fast.transmission.num_gears
+        for _ in range(80):
+            speed, accel, soc, grade = random_state(rng)
+            currents, gears, aux = random_grid(rng, num_gears)
+            a = fast.evaluate_actions(speed, accel, soc, currents, gears,
+                                      aux, 1.0, grade)
+            b = ref.evaluate_actions(speed, accel, soc, currents, gears,
+                                     aux, 1.0, grade)
+            assert_batches_identical(a, b)
+
+    def test_soc_window_edges(self, solvers):
+        fast, ref = solvers
+        battery = fast.params.battery
+        rng = np.random.default_rng(7)
+        num_gears = fast.transmission.num_gears
+        for soc in (0.0, battery.soc_min, 0.5, battery.soc_max, 1.0):
+            for _ in range(6):
+                speed, accel, _, grade = random_state(rng)
+                currents, gears, aux = random_grid(rng, num_gears)
+                a = fast.evaluate_actions(speed, accel, soc, currents,
+                                          gears, aux, 1.0, grade)
+                b = ref.evaluate_actions(speed, accel, soc, currents,
+                                         gears, aux, 1.0, grade)
+                assert_batches_identical(a, b)
+
+    def test_matches_scalar_reference(self):
+        fast = PowertrainSolver(default_vehicle())
+        scalar = ScalarReferenceSolver(default_vehicle())
+        rng = np.random.default_rng(11)
+        num_gears = fast.transmission.num_gears
+        for _ in range(4):
+            speed, accel, soc, grade = random_state(rng)
+            currents, gears, aux = random_grid(rng, num_gears)
+            a = fast.evaluate_actions(speed, accel, soc, currents, gears,
+                                      aux, 1.0, grade)
+            b = scalar.evaluate_actions(speed, accel, soc, currents, gears,
+                                        aux, 1.0, grade)
+            assert_batches_identical(a, b)
+
+    def test_persistent_workspace_matches_throwaway(self, solvers):
+        """evaluate_grid (reused buffers) == evaluate_actions (fresh)."""
+        fast, _ = solvers
+        rng = np.random.default_rng(3)
+        num_gears = fast.transmission.num_gears
+        currents, gears, aux = random_grid(rng, num_gears)
+        ws = fast.workspace(currents, gears, aux)
+        for _ in range(25):
+            speed, accel, soc, grade = random_state(rng)
+            a = fast.evaluate_grid(ws, speed, accel, soc, 1.0, grade)
+            b = fast.evaluate_actions(speed, accel, soc, currents, gears,
+                                      aux, 1.0, grade)
+            assert_batches_identical(a, b)
+
+
+def _episode(solver_cls, cycle, guard=False, faults=None, seed=5):
+    solver = solver_cls(default_vehicle())
+    simulator = Simulator(solver)
+    controller = build_rl_controller(solver, variant="proposed", seed=seed)
+    driver = (SafetySupervisor(controller, solver) if guard
+              else controller)
+    harness = (FaultHarness(solver, faults, seed=seed)
+               if faults is not None else None)
+    return simulator.run_episode(driver, cycle, learn=False, greedy=True,
+                                 faults=harness)
+
+
+@pytest.mark.parametrize("cycle_name", sorted(STANDARD_SPECS))
+def test_full_cycle_episode_matches(cycle_name):
+    """Greedy full-cycle drives are bit-identical on every built-in cycle."""
+    cycle = standard_cycle(cycle_name)
+    fast = _episode(PowertrainSolver, cycle)
+    ref = _episode(ReferencePowertrainSolver, cycle)
+    assert_episodes_identical(fast, ref)
+
+
+def test_guarded_episode_matches():
+    """SafetySupervisor-mediated drives stay bit-identical."""
+    cycle = standard_cycle("nycc")
+    fast = _episode(PowertrainSolver, cycle, guard=True)
+    ref = _episode(ReferencePowertrainSolver, cycle, guard=True)
+    assert_episodes_identical(fast, ref)
+    assert (fast.safety is None) == (ref.safety is None)
+    if fast.safety is not None:
+        assert fast.safety.interventions == ref.safety.interventions
+        assert fast.safety.final_mode == ref.safety.final_mode
+
+
+@pytest.mark.parametrize("scenario_name", ["battery_fade", "noisy_sensors"])
+def test_fault_scenario_episode_matches(scenario_name):
+    """Degraded-mode drives (plant + sensor faults) stay bit-identical."""
+    schedule = builtin_scenarios()[scenario_name].schedule
+    cycle = standard_cycle("nycc")
+    fast = _episode(PowertrainSolver, cycle, faults=schedule)
+    ref = _episode(ReferencePowertrainSolver, cycle, faults=schedule)
+    assert_episodes_identical(fast, ref)
+
+
+def test_act_batch_matches_scalar_fallback():
+    """The agent's vectorised probe == the base-class scalar fallback."""
+    from repro.control.base import Controller
+
+    def build():
+        solver = PowertrainSolver(default_vehicle())
+        return build_rl_controller(solver, variant="no_prediction", seed=9)
+
+    a, b = build(), build()
+    rng = np.random.default_rng(13)
+    speeds = rng.uniform(0.0, 30.0, 12)
+    accels = rng.uniform(-2.0, 2.0, 12)
+    socs = rng.uniform(0.42, 0.78, 12)
+    a.begin_episode()
+    b.begin_episode()
+    batched = a.act_batch(speeds, accels, socs, 1.0)
+    scalar = Controller.act_batch(b, speeds, accels, socs, 1.0)
+    assert batched == scalar
+    assert isinstance(a, RLController)
