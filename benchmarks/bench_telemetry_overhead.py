@@ -1,0 +1,137 @@
+"""Telemetry overhead bench: the cost of full instrumentation.
+
+Runs the same RL training workload as ``bench_throughput.py`` twice —
+once with telemetry disabled (``Simulator(solver)``, the production
+default) and once writing spans, sampled step events, and metrics to a
+JSONL sink — and reports steps/sec for both plus the relative overhead.
+The observability tentpole's acceptance budget is **< 5 % overhead**
+with the default 1-in-50 step sampling.
+
+Emits ``benchmarks/results/BENCH_telemetry_overhead.json`` (schema in
+``benchmarks/common.py``; validated by ``scripts/check_bench_schema.py``).
+Run ``python benchmarks/bench_telemetry_overhead.py --baseline`` to also
+refresh the committed trajectory baseline ``BENCH_telemetry_overhead.json``
+at the repo root.  Environment knobs:
+``REPRO_BENCH_TELEMETRY_EPISODES`` (default 3, per leg),
+``REPRO_BENCH_TELEMETRY_REPEATS`` (default 3, best-of legs), and
+``REPRO_BENCH_TELEMETRY_CYCLE`` (default ``udds``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from typing import Optional
+
+from repro.control.rl_controller import build_rl_controller
+from repro.cycles import standard_cycle
+from repro.powertrain import PowertrainSolver
+from repro.sim import Simulator, train
+from repro.telemetry import Telemetry
+from repro.vehicle import default_vehicle
+
+from benchmarks.common import SEED, emit_json, metric, report
+
+_ROOT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_telemetry_overhead.json")
+
+OVERHEAD_BUDGET_PCT = 5.0
+"""Acceptance ceiling for the instrumented-over-plain slowdown."""
+
+
+def _episodes() -> int:
+    return int(os.environ.get("REPRO_BENCH_TELEMETRY_EPISODES", 3))
+
+
+def _cycle_name() -> str:
+    return os.environ.get("REPRO_BENCH_TELEMETRY_CYCLE", "udds")
+
+
+def _repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_TELEMETRY_REPEATS", 3))
+
+
+def _measure(cycle, episodes: int, telemetry: Optional[Telemetry]) -> dict:
+    """Train ``episodes`` drives of ``cycle``; return throughput figures."""
+    solver = PowertrainSolver(default_vehicle())
+    simulator = Simulator(solver, telemetry=telemetry)
+    controller = build_rl_controller(solver, variant="proposed", seed=SEED)
+    t0 = time.perf_counter()
+    train(simulator, controller, cycle, episodes=episodes,
+          evaluate_after=False, seed=SEED)
+    elapsed = time.perf_counter() - t0
+    steps = episodes * (len(cycle) - 1)
+    return {"steps_per_sec": steps / elapsed, "steps": steps,
+            "elapsed_s": elapsed}
+
+
+def run_bench(write_baseline: bool = False) -> dict:
+    """Run both legs and emit the JSON + rendered table."""
+    cycle = standard_cycle(_cycle_name())
+    episodes = _episodes()
+
+    # Warm-up leg so import costs and allocator warm-up hit neither
+    # measured leg; then interleave the two legs and keep the best of
+    # each (scheduler noise on a shared box dwarfs the effect measured).
+    _measure(cycle, 1, None)
+    plain = {"steps_per_sec": 0.0}
+    instrumented = {"steps_per_sec": 0.0}
+    events = 0
+    for rep in range(_repeats()):
+        leg = _measure(cycle, episodes, None)
+        if leg["steps_per_sec"] > plain["steps_per_sec"]:
+            plain = leg
+        with tempfile.TemporaryDirectory() as tmp:
+            with Telemetry(os.path.join(tmp, "bench.jsonl")) as telemetry:
+                leg = _measure(cycle, episodes, telemetry)
+            events = sum(1 for _ in open(os.path.join(tmp, "bench.jsonl")))
+        if leg["steps_per_sec"] > instrumented["steps_per_sec"]:
+            instrumented = leg
+
+    overhead_pct = 100.0 * (plain["steps_per_sec"]
+                            / instrumented["steps_per_sec"] - 1.0)
+
+    metrics = [
+        metric("steps_per_sec_disabled", plain["steps_per_sec"], "steps/s"),
+        metric("steps_per_sec_enabled", instrumented["steps_per_sec"],
+               "steps/s"),
+        metric("overhead_pct", overhead_pct, "%"),
+        metric("events_written", events, "count"),
+        metric("workload_episodes", episodes, "count"),
+        metric("workload_steps", plain["steps"], "count"),
+    ]
+
+    lines = [
+        "Telemetry overhead: RL training workload "
+        f"({_cycle_name().upper()}, {episodes} episode(s) per leg)",
+        "",
+        f"{'telemetry':12s} {'steps/s':>10s} {'elapsed s':>10s}",
+        f"{'disabled':12s} {plain['steps_per_sec']:10.1f} "
+        f"{plain['elapsed_s']:10.2f}",
+        f"{'enabled':12s} {instrumented['steps_per_sec']:10.1f} "
+        f"{instrumented['elapsed_s']:10.2f}",
+        "",
+        f"overhead: {overhead_pct:.2f}% "
+        f"(budget < {OVERHEAD_BUDGET_PCT:.0f}%), "
+        f"{events} events written",
+    ]
+    report("telemetry_overhead", "\n".join(lines), metrics=metrics)
+    if write_baseline:
+        emit_json("telemetry_overhead", metrics, path=_ROOT_BASELINE)
+    return {"overhead_pct": overhead_pct, "metrics": metrics}
+
+
+def test_telemetry_overhead_within_budget():
+    """The tentpole's acceptance criterion: < 5% instrumented slowdown."""
+    outcome = run_bench()
+    assert outcome["overhead_pct"] < OVERHEAD_BUDGET_PCT, (
+        f"telemetry overhead {outcome['overhead_pct']:.2f}% exceeds the "
+        f"{OVERHEAD_BUDGET_PCT:.0f}% budget")
+
+
+if __name__ == "__main__":
+    result = run_bench(write_baseline="--baseline" in sys.argv[1:])
+    print(f"overhead: {result['overhead_pct']:.2f}%")

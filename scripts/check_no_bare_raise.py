@@ -25,6 +25,7 @@ API_BOUNDARY_MODULES = [
     "src/repro/faults/*.py",
     "src/repro/sim/*.py",
     "src/repro/safety/*.py",
+    "src/repro/telemetry/*.py",
     "src/repro/rl/persistence.py",
     "src/repro/rl/qtable.py",
     "src/repro/rl/reward.py",

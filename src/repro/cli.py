@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the everyday workflows:
+Eight subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
@@ -21,18 +21,30 @@ Seven subcommands cover the everyday workflows:
   supervisor (adds intervention/mode columns).
 * ``guard-report`` — drive one guarded episode and print the supervisor's
   full journal: guard events, mode transitions, and time in each mode.
+* ``telemetry`` — ``telemetry report PATH`` summarises a telemetry event
+  file (or a sweep manifest's task latency) written by a previous run.
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
 (:class:`repro.errors.ReproError`) — including executor and manifest
 misconfiguration — are reported as a one-line message on stderr with exit
 code 2 instead of a traceback.
+
+Result tables go to **stdout**; progress/diagnostic chatter goes through
+stdlib :mod:`logging` on **stderr**, controlled by the global
+``--log-level`` / ``-v`` flags (default INFO) — so piping a command into
+a file captures clean results.  ``train``/``evaluate``/``guard-report``/
+``sweep`` accept ``--telemetry PATH`` to stream structured events,
+spans, and metrics into a JSONL file (see ``docs/OBSERVABILITY.md``);
+WARNING+ log records are bridged into the same file.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.analysis.ascii_plot import soc_strip, sparkline
@@ -61,10 +73,64 @@ _BASELINES = {
     "conventional": ConventionalController,
 }
 
+_LOG = logging.getLogger(__name__)
+
+
+def _configure_logging(args) -> None:
+    """Point the ``repro`` package logger at stderr at the chosen level.
+
+    Idempotent across repeated :func:`main` calls in one process (the
+    test suite drives the CLI in-process): the handler is installed once
+    and only the level is updated.  The logger does not propagate, so an
+    application embedding the library keeps full control of the root.
+    """
+    level_name = "debug" if args.verbose else args.log_level
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    logger.propagate = False
+    if not any(getattr(h, "_repro_cli", False) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        handler._repro_cli = True
+        logger.addHandler(handler)
+
+
+@contextmanager
+def _telemetry_session(path):
+    """One command's telemetry sink (yields None when ``path`` is None).
+
+    While open, WARNING+ records of the ``repro`` logger are bridged into
+    the event file; the bridge is detached before the sink closes, so a
+    late log record can never hit a closed file.
+    """
+    if path is None:
+        yield None
+        return
+    from repro.telemetry import (Telemetry, attach_logging_bridge,
+                                 detach_logging_bridge)
+    telemetry = Telemetry(path)
+    logger = logging.getLogger("repro")
+    handler = attach_logging_bridge(telemetry, logger)
+    try:
+        yield telemetry
+    finally:
+        detach_logging_bridge(handler, logger)
+        telemetry.close()
+        _LOG.info("telemetry written to %s (run %s)", telemetry.path,
+                  telemetry.run_id)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HEV joint RL control (DAC'15 reproduction)")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="diagnostic verbosity on stderr "
+                             "(default: info; result tables always print "
+                             "on stdout)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="shorthand for --log-level debug")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_cycles = sub.add_parser("cycles", help="list or export drive cycles")
@@ -83,6 +149,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=42)
     p_train.add_argument("--save", metavar="STEM",
                          help="save the trained policy to STEM.{npz,json}")
+    p_train.add_argument("--telemetry", metavar="PATH",
+                         help="stream structured events/spans/metrics to "
+                              "this JSONL file (must not already exist)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a controller")
     p_eval.add_argument("--cycle", default="UDDS")
@@ -100,6 +169,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="wrap the controller in the runtime safety "
                              "supervisor (envelope guarding + graceful "
                              "degradation to the rule-based fallback)")
+    p_eval.add_argument("--telemetry", metavar="PATH",
+                        help="stream structured events/spans/metrics to "
+                             "this JSONL file (must not already exist)")
 
     p_guard = sub.add_parser(
         "guard-report",
@@ -113,6 +185,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_guard.add_argument("--seed", type=int, default=42)
     p_guard.add_argument("--faults", metavar="SCENARIO",
                          help="inject a fault scenario (name or JSON path)")
+    p_guard.add_argument("--telemetry", metavar="PATH",
+                         help="stream structured events/spans/metrics to "
+                              "this JSONL file (must not already exist)")
 
     p_faults = sub.add_parser("faults", help="fault-injection scenarios")
     p_faults.add_argument("action", choices=["list"],
@@ -155,6 +230,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="drive every run behind the runtime safety "
                               "supervisor; rows gain intervention and "
                               "health-mode columns")
+    p_sweep.add_argument("--telemetry", metavar="PATH",
+                         help="stream structured events/spans/metrics to "
+                              "this JSONL file (must not already exist)")
+
+    p_tel = sub.add_parser(
+        "telemetry", help="summarise telemetry event files and manifests")
+    p_tel.add_argument("action", choices=["report"],
+                       help="'report' aggregates one file into a summary")
+    p_tel.add_argument("path",
+                       help="a telemetry event file written with "
+                            "--telemetry, or a sweep manifest")
     return parser
 
 
@@ -177,21 +263,23 @@ def _cmd_cycles(args) -> int:
 
 def _cmd_train(args) -> int:
     solver = PowertrainSolver(default_vehicle())
-    simulator = Simulator(solver)
     controller = build_rl_controller(solver, variant=args.variant,
                                      seed=args.seed)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
-    print(f"training {args.variant} on {cycle} for {args.episodes} episodes")
-    run = train_with_callbacks(simulator, controller, cycle,
-                               episodes=args.episodes,
-                               callbacks=[ProgressPrinter(every=10)])
+    with _telemetry_session(args.telemetry) as telemetry:
+        simulator = Simulator(solver, telemetry=telemetry)
+        _LOG.info("training %s on %s for %d episodes", args.variant, cycle,
+                  args.episodes)
+        run = train_with_callbacks(simulator, controller, cycle,
+                                   episodes=args.episodes,
+                                   callbacks=[ProgressPrinter(every=10)])
     if len(run.episodes) >= 2:
         print("learning curve (reward/episode): "
               + sparkline(run.learning_curve))
     print("greedy evaluation:", run.evaluation.summary())
     if args.save:
         save_policy(controller.agent, args.save)
-        print(f"policy saved to {args.save}.npz / {args.save}.json")
+        _LOG.info("policy saved to %s.npz / %s.json", args.save, args.save)
     return 0
 
 
@@ -218,19 +306,21 @@ def _print_guard_summary(report) -> None:
 
 def _cmd_evaluate(args) -> int:
     solver = PowertrainSolver(default_vehicle())
-    simulator = Simulator(solver)
-    controller = _build_eval_controller(solver, args)
-    if args.guard:
-        from repro.safety import SafetySupervisor
-        controller = SafetySupervisor(controller, solver)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
-    harness = None
-    if args.faults is not None:
-        scenario = get_scenario(args.faults)
-        harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
-        print(f"injecting fault scenario '{scenario.name}': "
-              f"{scenario.description}")
-    result = evaluate(simulator, controller, cycle, faults=harness)
+    with _telemetry_session(args.telemetry) as telemetry:
+        simulator = Simulator(solver, telemetry=telemetry)
+        controller = _build_eval_controller(solver, args)
+        if args.guard:
+            from repro.safety import SafetySupervisor
+            controller = SafetySupervisor(controller, solver,
+                                          telemetry=telemetry)
+        harness = None
+        if args.faults is not None:
+            scenario = get_scenario(args.faults)
+            harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
+            _LOG.info("injecting fault scenario '%s': %s", scenario.name,
+                      scenario.description)
+        result = evaluate(simulator, controller, cycle, faults=harness)
     print(result.summary())
     if result.safety is not None:
         _print_guard_summary(result.safety)
@@ -254,27 +344,29 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_guard_report(args) -> int:
     solver = PowertrainSolver(default_vehicle())
-    simulator = Simulator(solver)
-    controller = _build_eval_controller(solver, args)
-    from repro.safety import SafetySupervisor
-    supervisor = SafetySupervisor(controller, solver)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
-    harness = None
-    if args.faults is not None:
-        scenario = get_scenario(args.faults)
-        harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
-        print(f"injecting fault scenario '{scenario.name}': "
-              f"{scenario.description}")
-    try:
-        result = evaluate(simulator, controller=supervisor, cycle=cycle,
-                          faults=harness)
-    except SafetyHaltError as exc:
-        # A halt is a legitimate guarded outcome: print the journal up to
-        # the halt, then report the structured error.
-        if exc.report is not None:
-            print(exc.report.render())
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    with _telemetry_session(args.telemetry) as telemetry:
+        simulator = Simulator(solver, telemetry=telemetry)
+        controller = _build_eval_controller(solver, args)
+        from repro.safety import SafetySupervisor
+        supervisor = SafetySupervisor(controller, solver,
+                                      telemetry=telemetry)
+        harness = None
+        if args.faults is not None:
+            scenario = get_scenario(args.faults)
+            harness = FaultHarness(solver, scenario.schedule, seed=args.seed)
+            _LOG.info("injecting fault scenario '%s': %s", scenario.name,
+                      scenario.description)
+        try:
+            result = evaluate(simulator, controller=supervisor, cycle=cycle,
+                              faults=harness)
+        except SafetyHaltError as exc:
+            # A halt is a legitimate guarded outcome: print the journal up
+            # to the halt, then report the structured error.
+            if exc.report is not None:
+                print(exc.report.render())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(result.summary())
     print(result.safety.render())
     return 0
@@ -285,7 +377,7 @@ def _cmd_compare(args) -> int:
     simulator = Simulator(solver)
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
     controller = build_rl_controller(solver, seed=args.seed)
-    print(f"training on {cycle} ({args.episodes} episodes)...")
+    _LOG.info("training on %s (%d episodes)...", cycle, args.episodes)
     train(simulator, controller, cycle, episodes=args.episodes,
           evaluate_after=False)
     rows = {"rl (proposed)": evaluate_stationary(simulator, controller,
@@ -309,9 +401,6 @@ def _cmd_sweep(args) -> int:
         manifest = SweepManifest(args.resume, resume=True)
     elif args.manifest:
         manifest = SweepManifest(args.manifest)
-    executor = Supervisor(jobs=args.jobs, timeout=args.timeout,
-                          retries=args.retries, manifest=manifest,
-                          failure_mode="quarantine")
 
     names = [n.strip() for n in args.controllers.split(",") if n.strip()]
     if not names:
@@ -322,7 +411,6 @@ def _cmd_sweep(args) -> int:
             f"unknown controller(s) {unknown}; "
             f"available: {sorted(_BASELINES)}")
     solver = PowertrainSolver(default_vehicle())
-    simulator = Simulator(solver)
     controllers = {name: _BASELINES[name](solver) for name in names}
 
     if args.scenarios.strip() == "all":
@@ -338,13 +426,19 @@ def _cmd_sweep(args) -> int:
         raise ConfigurationError("need at least one fault scenario")
 
     cycle = standard_cycle(args.cycle).repeat(args.repeats)
-    mode = (f"{args.jobs} isolated worker(s)" if executor.isolated
-            else "serial in-process")
-    print(f"sweeping {len(controllers)} controller(s) x "
-          f"{len(scenarios)} scenario(s) on {cycle} [{mode}]")
-    report = run_robustness(simulator, controllers, scenarios, cycle,
-                            seed=args.seed, executor=executor,
-                            guard=args.guard)
+    with _telemetry_session(args.telemetry) as telemetry:
+        executor = Supervisor(jobs=args.jobs, timeout=args.timeout,
+                              retries=args.retries, manifest=manifest,
+                              failure_mode="quarantine",
+                              telemetry=telemetry)
+        simulator = Simulator(solver, telemetry=telemetry)
+        mode = (f"{args.jobs} isolated worker(s)" if executor.isolated
+                else "serial in-process")
+        _LOG.info("sweeping %d controller(s) x %d scenario(s) on %s [%s]",
+                  len(controllers), len(scenarios), cycle, mode)
+        report = run_robustness(simulator, controllers, scenarios, cycle,
+                                seed=args.seed, executor=executor,
+                                guard=args.guard)
     print(report.render())
     if args.guard:
         try:
@@ -359,6 +453,12 @@ def _cmd_sweep(args) -> int:
         raise ConfigurationError(
             "sweep produced no surviving runs "
             f"({len(report.failures)} quarantined)")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import summarize
+    print(summarize(args.path))
     return 0
 
 
@@ -384,6 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     stderr (exit code 2); genuine bugs still traceback.
     """
     args = _build_parser().parse_args(argv)
+    _configure_logging(args)
     handlers = {
         "cycles": _cmd_cycles,
         "train": _cmd_train,
@@ -392,6 +493,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "sweep": _cmd_sweep,
         "guard-report": _cmd_guard_report,
+        "telemetry": _cmd_telemetry,
     }
     try:
         return handlers[args.command](args)

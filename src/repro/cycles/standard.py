@@ -31,6 +31,7 @@ from typing import Dict
 
 from repro.cycles.cycle import DriveCycle
 from repro.cycles.synthesis import CycleSpec, synthesize
+from repro.errors import CycleLookupError
 
 STANDARD_SPECS: Dict[str, CycleSpec] = {
     "UDDS": CycleSpec(
@@ -69,7 +70,7 @@ def standard_cycle(name: str) -> DriveCycle:
     """Synthesise a built-in cycle by (case-insensitive) name."""
     key = name.upper()
     if key not in STANDARD_SPECS:
-        raise KeyError(
+        raise CycleLookupError(
             f"unknown cycle {name!r}; available: {sorted(STANDARD_SPECS)}")
     return synthesize(STANDARD_SPECS[key])
 

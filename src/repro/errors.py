@@ -41,6 +41,19 @@ class CycleError(ReproError, ValueError):
     non-positive sample period, unreadable cycle file)."""
 
 
+class CycleLookupError(CycleError, KeyError):
+    """A cycle name does not match any built-in cycle.
+
+    Also a :class:`KeyError` for callers that treat the built-in registry
+    as a mapping, while the CLI catches it as a :class:`ReproError` and
+    reports one clean line instead of a traceback.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; report it verbatim.
+        return str(self.args[0]) if self.args else ""
+
+
 class CheckpointError(ReproError, ValueError):
     """A policy or training checkpoint cannot be saved, loaded, or resumed
     (missing files, fingerprint mismatch, incompatible table shapes)."""
@@ -78,6 +91,15 @@ class PersistenceError(CheckpointError):
     Subclasses :class:`CheckpointError`, so existing ``except
     CheckpointError`` call sites keep working; the narrower class marks
     on-disk corruption as opposed to configuration mismatches."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """The telemetry layer cannot record or read observability data (an
+    event violating the declared schema, a corrupt event file, a metric
+    re-registered under a different type, an unbalanced span stack).
+
+    Telemetry failures never abort the instrumented workload silently —
+    they are structured errors at the observability API boundary."""
 
 
 class SafetyHaltError(ReproError, RuntimeError):

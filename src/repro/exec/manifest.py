@@ -10,9 +10,18 @@ File format (one JSON object per line):
 
 * header — ``{"type": "manifest", "version": 1, "created_unix": ...}``
 * success — ``{"type": "result", "status": "ok", "key": ..., "hash": ...,
-  "spec": {...}, "attempts": n, "elapsed": s, "payload": <encoded>}``
+  "spec": {...}, "attempts": n, "elapsed": s, "completed_unix": ...,
+  "payload": <encoded>}``
 * quarantine — ``{"type": "result", "status": "quarantined", "key": ...,
-  "hash": ..., "spec": {...}, "failure": {...}}``
+  "hash": ..., "spec": {...}, "attempts": n, "elapsed": s,
+  "completed_unix": ..., "failure": {...}}``
+
+Every result line journals its wall-clock cost at the top level
+(``attempts``, ``elapsed``, ``completed_unix``), so ``repro telemetry
+report <manifest>`` can summarise supervisor latency from manifests
+alone — no payload decoding, no event file.  (Older files lacked the
+top-level copies on quarantined lines; readers fall back to the same
+fields inside ``failure``.)
 
 Quarantined records are journaled for the post-mortem but are **not**
 skipped on resume — a failed task is not finished work, so the re-launch
@@ -197,14 +206,23 @@ class SweepManifest:
         self._append({"type": "result", "status": "ok", "key": task.key,
                       "hash": task.hash, "spec": dict(task.spec),
                       "attempts": attempts, "elapsed": elapsed,
+                      "completed_unix": time.time(),
                       "payload": encode_payload(payload)})
         self._completed[task.hash] = payload
 
     def record_failure(self, task: Task, failure: TaskFailure) -> None:
-        """Append one quarantined task (not skipped on resume)."""
+        """Append one quarantined task (not skipped on resume).
+
+        ``attempts``/``elapsed`` are journaled at the top level (as on
+        success lines) so latency reports need not open the failure
+        record.
+        """
         self._append({"type": "result", "status": "quarantined",
                       "key": task.key, "hash": task.hash,
                       "spec": dict(task.spec),
+                      "attempts": failure.attempts,
+                      "elapsed": failure.elapsed,
+                      "completed_unix": time.time(),
                       "failure": failure.to_json()})
         self._failed[task.hash] = failure
 

@@ -28,6 +28,15 @@ function, so a re-run schedules identically.
 With a :class:`~repro.exec.manifest.SweepManifest` attached, every
 completion is journaled; a manifest opened with ``resume=True`` replays
 finished tasks instead of re-running them.
+
+With a :class:`~repro.telemetry.Telemetry` attached (opt-in, default
+off), every sweep opens an ``exec.sweep`` span and every task an
+``exec.task`` span — stacked in serial mode, detached in isolated mode
+where task lifetimes overlap, with the span context handed across the
+fork boundary so worker-side tracers continue the same trace.  Task
+completions become ``task`` events, and retries/timeouts/quarantines
+tick ``exec.*`` counters plus an ``exec.task_seconds`` latency
+histogram.
 """
 
 from __future__ import annotations
@@ -139,7 +148,8 @@ class Supervisor:
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
                  retries: int = 0, backoff: Optional[BackoffPolicy] = None,
                  manifest: Optional[SweepManifest] = None,
-                 failure_mode: str = "quarantine"):
+                 failure_mode: str = "quarantine",
+                 telemetry=None):
         if not isinstance(jobs, int) or jobs < 1:
             raise ConfigurationError(f"jobs must be a positive int, "
                                      f"got {jobs!r}")
@@ -159,6 +169,7 @@ class Supervisor:
         self.backoff = backoff or BackoffPolicy()
         self.manifest = manifest
         self.failure_mode = failure_mode
+        self.telemetry = telemetry
 
     @property
     def isolated(self) -> bool:
@@ -179,24 +190,59 @@ class Supervisor:
             dupes = sorted({k for k in keys if keys.count(k) > 1})
             raise ExecutionError(f"duplicate task keys: {dupes}")
         sweep = SweepResult(planned=keys)
-        todo: List[Task] = []
-        for task in tasks:
-            if self.manifest is not None:
-                found, payload = self.manifest.payload_for(task)
-                if found:
-                    sweep.results[task.key] = payload
-                    sweep.resumed.append(task.key)
-                    sweep.attempts[task.key] = 0
-                    continue
-            todo.append(task)
-        if not todo:
-            return sweep
-        if self.isolated:
-            self._check_isolation_available()
-            self._run_isolated(todo, sweep)
-        else:
-            self._run_serial(todo, sweep)
+        sweep_span = None
+        if self.telemetry is not None:
+            sweep_span = self.telemetry.tracer.start(
+                "exec.sweep", planned=len(keys), jobs=self.jobs,
+                isolated=self.isolated)
+        try:
+            todo: List[Task] = []
+            for task in tasks:
+                if self.manifest is not None:
+                    found, payload = self.manifest.payload_for(task)
+                    if found:
+                        sweep.results[task.key] = payload
+                        sweep.resumed.append(task.key)
+                        sweep.attempts[task.key] = 0
+                        if self.telemetry is not None:
+                            self._journal(task.key, "resumed", 0, 0.0)
+                        continue
+                todo.append(task)
+            if todo:
+                if self.isolated:
+                    self._check_isolation_available()
+                    self._run_isolated(todo, sweep)
+                else:
+                    self._run_serial(todo, sweep)
+        finally:
+            if sweep_span is not None:
+                self.telemetry.tracer.end(
+                    sweep_span, completed=len(sweep.results),
+                    quarantined=len(sweep.failures),
+                    resumed=len(sweep.resumed))
         return sweep
+
+    # -- telemetry plumbing ------------------------------------------------
+
+    _OUTCOME_COUNTERS = {"ok": "exec.tasks_completed",
+                         "quarantined": "exec.tasks_quarantined",
+                         "resumed": "exec.tasks_resumed"}
+
+    def _journal(self, key: str, outcome: str, attempts: int,
+                 elapsed: float) -> None:
+        """Emit one ``task`` event and tick the exec metrics.
+
+        Callers guard on ``self.telemetry is not None``.
+        """
+        telemetry = self.telemetry
+        telemetry.event("task", key=key, outcome=outcome,
+                        attempts=int(attempts), elapsed=float(elapsed))
+        telemetry.metrics.counter(self._OUTCOME_COUNTERS[outcome]).inc()
+        if outcome != "resumed":
+            from repro.telemetry.metrics import LATENCY_BUCKETS_S
+            telemetry.metrics.histogram(
+                "exec.task_seconds",
+                buckets=LATENCY_BUCKETS_S).observe(elapsed)
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -206,6 +252,8 @@ class Supervisor:
         sweep.attempts[task.key] = attempts
         if self.manifest is not None:
             self.manifest.record_success(task, value, attempts, elapsed)
+        if self.telemetry is not None:
+            self._journal(task.key, "ok", attempts, elapsed)
 
     def _record_failure(self, sweep: SweepResult, task: Task,
                         failure: TaskFailure,
@@ -214,6 +262,9 @@ class Supervisor:
         sweep.attempts[task.key] = failure.attempts
         if self.manifest is not None:
             self.manifest.record_failure(task, failure)
+        if self.telemetry is not None:
+            self._journal(task.key, "quarantined", failure.attempts,
+                          failure.elapsed)
         if self.failure_mode == "raise":
             if cause is not None:
                 raise cause
@@ -222,31 +273,46 @@ class Supervisor:
     # -- serial in-process mode --------------------------------------------
 
     def _run_serial(self, todo: Sequence[Task], sweep: SweepResult) -> None:
+        telemetry = self.telemetry
         for task in todo:
+            span = None
+            if telemetry is not None:
+                span = telemetry.tracer.start("exec.task", key=task.key)
             attempt = 0
-            while True:
-                attempt += 1
-                start = time.monotonic()
-                try:
-                    value = task.fn()
-                except Exception as exc:
-                    elapsed = time.monotonic() - start
-                    if attempt <= self.retries:
-                        time.sleep(self.backoff.delay(task.key, attempt))
-                        continue
-                    failure = TaskFailure(
-                        key=task.key, kind="error",
-                        exception_type=type(exc).__name__,
-                        message=str(exc),
-                        traceback=traceback_module.format_exc(),
-                        attempts=attempt, elapsed=elapsed)
-                    # In raise mode the *original* exception propagates,
-                    # preserving the pre-supervisor serial-loop contract.
-                    self._record_failure(sweep, task, failure, cause=exc)
+            outcome = "error"
+            try:
+                while True:
+                    attempt += 1
+                    start = time.monotonic()
+                    try:
+                        value = task.fn()
+                    except Exception as exc:
+                        elapsed = time.monotonic() - start
+                        if attempt <= self.retries:
+                            if telemetry is not None:
+                                telemetry.metrics.counter(
+                                    "exec.retries").inc()
+                            time.sleep(self.backoff.delay(task.key, attempt))
+                            continue
+                        failure = TaskFailure(
+                            key=task.key, kind="error",
+                            exception_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback=traceback_module.format_exc(),
+                            attempts=attempt, elapsed=elapsed)
+                        outcome = "quarantined"
+                        # In raise mode the *original* exception propagates,
+                        # preserving the pre-supervisor serial-loop contract.
+                        self._record_failure(sweep, task, failure, cause=exc)
+                        break
+                    outcome = "ok"
+                    self._record_success(sweep, task, value, attempt,
+                                         time.monotonic() - start)
                     break
-                self._record_success(sweep, task, value, attempt,
-                                     time.monotonic() - start)
-                break
+            finally:
+                if span is not None:
+                    telemetry.tracer.end(span, outcome=outcome,
+                                         attempts=attempt)
 
     # -- isolated worker mode ----------------------------------------------
 
@@ -262,19 +328,26 @@ class Supervisor:
         ctx = multiprocessing.get_context("fork")
         pending = deque((task, 1, 0.0) for task in todo)
         running: List[_WorkerSlot] = []
+        spans: Dict[str, Any] = {}  # live detached task spans, by key
         try:
             while pending or running:
                 now = time.monotonic()
-                self._launch_ready(ctx, pending, running, now)
+                self._launch_ready(ctx, pending, running, spans, now)
                 self._wait(pending, running, now)
                 now = time.monotonic()
-                self._reap(pending, running, sweep, now)
+                self._reap(pending, running, sweep, spans, now)
         finally:
             for slot in running:
                 slot.kill()
+            if self.telemetry is not None:
+                # Tasks still in flight when the sweep aborts (raise mode)
+                # get their spans closed so the trace stays complete.
+                for span in spans.values():
+                    self.telemetry.tracer.end(span, outcome="aborted")
+                spans.clear()
 
     def _launch_ready(self, ctx, pending, running: List["_WorkerSlot"],
-                      now: float) -> None:
+                      spans: Dict[str, Any], now: float) -> None:
         while len(running) < self.jobs:
             index = next((i for i, (_, _, ready) in enumerate(pending)
                           if ready <= now), None)
@@ -282,9 +355,21 @@ class Supervisor:
                 break
             task, attempt, _ = pending[index]
             del pending[index]
+            span_context = None
+            if self.telemetry is not None:
+                # One detached span covers every attempt of the task; its
+                # context crosses the fork so the worker continues the
+                # trace (see repro.telemetry.tracing).
+                span = spans.get(task.key)
+                if span is None:
+                    span = self.telemetry.tracer.start(
+                        "exec.task", detached=True, key=task.key)
+                    spans[task.key] = span
+                span_context = span.context.to_json()
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_worker_entry,
-                               args=(task.fn, child_conn), daemon=True)
+                               args=(task.fn, child_conn, span_context),
+                               daemon=True)
             proc.start()
             child_conn.close()
             deadline = now + self.timeout if self.timeout else None
@@ -307,7 +392,8 @@ class Supervisor:
             time.sleep(wait)
 
     def _reap(self, pending, running: List["_WorkerSlot"],
-              sweep: SweepResult, now: float) -> None:
+              sweep: SweepResult, spans: Dict[str, Any],
+              now: float) -> None:
         ready = mp_connection.wait([slot.conn for slot in running],
                                    timeout=0) if running else []
         for slot in list(running):
@@ -323,18 +409,33 @@ class Supervisor:
             running.remove(slot)
             elapsed = time.monotonic() - slot.started
             if outcome[0] == "ok":
+                self._end_task_span(spans, slot, "ok")
                 self._record_success(sweep, slot.task, outcome[1],
                                      slot.attempt, elapsed)
                 continue
             kind, exception_type, message, tb = outcome
+            if self.telemetry is not None and kind == "timeout":
+                self.telemetry.metrics.counter("exec.timeouts").inc()
             if slot.attempt <= self.retries:
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter("exec.retries").inc()
                 delay = self.backoff.delay(slot.task.key, slot.attempt)
                 pending.append((slot.task, slot.attempt + 1, now + delay))
                 continue
+            self._end_task_span(spans, slot, "quarantined")
             self._record_failure(sweep, slot.task, TaskFailure(
                 key=slot.task.key, kind=kind,
                 exception_type=exception_type, message=message,
                 traceback=tb, attempts=slot.attempt, elapsed=elapsed))
+
+    def _end_task_span(self, spans: Dict[str, Any], slot: "_WorkerSlot",
+                       outcome: str) -> None:
+        if self.telemetry is None:
+            return
+        span = spans.pop(slot.task.key, None)
+        if span is not None:
+            self.telemetry.tracer.end(span, outcome=outcome,
+                                      attempts=slot.attempt)
 
 
 @dataclass
@@ -376,8 +477,16 @@ class _WorkerSlot:
         self.conn.close()
 
 
-def _worker_entry(fn, conn) -> None:
-    """Forked worker body: run the task, report exactly one message."""
+def _worker_entry(fn, conn, span_context=None) -> None:
+    """Forked worker body: run the task, report exactly one message.
+
+    ``span_context`` (the supervisor task span's ``to_json()`` form, when
+    telemetry is on) is installed as the worker's ambient trace parent,
+    so any tracer the task builds continues the supervisor's trace.
+    """
+    if span_context is not None:
+        from repro.telemetry.tracing import SpanContext, set_ambient_context
+        set_ambient_context(SpanContext.from_json(span_context))
     try:
         value = fn()
     except BaseException as exc:

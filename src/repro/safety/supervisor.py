@@ -118,16 +118,22 @@ class SafetySupervisor(Controller):
 
     def __init__(self, controller: Controller, solver: PowertrainSolver,
                  fallback: Optional[Controller] = None,
-                 config: Optional[SupervisorConfig] = None):
+                 config: Optional[SupervisorConfig] = None,
+                 telemetry=None):
         """``fallback`` takes over in LIMP_HOME (default: the rule-based
         baseline on the same solver, mirroring the paper's conventional
-        comparison strategy)."""
+        comparison strategy).  ``telemetry`` (a
+        :class:`repro.telemetry.Telemetry`, opt-in) streams every guard
+        intervention and health transition into the event sink as they
+        happen — the in-memory :class:`~repro.safety.events.SafetyLog`
+        journal is unchanged either way."""
         if fallback is controller:
             raise ConfigurationError(
                 "the fallback controller must be a different instance from "
                 "the supervised controller")
         self.controller = controller
         self.solver = solver
+        self.telemetry = telemetry
         if fallback is None:
             from repro.control.rule_based import RuleBasedController
             fallback = RuleBasedController(solver)
@@ -158,6 +164,18 @@ class SafetySupervisor(Controller):
         self._time = 0.0
         self._q_cache: Tuple[Optional[bool], float] = (None, 0.0)
         self._last_report: Optional[SafetyReport] = None
+
+    # ------------------------------------------------------------ telemetry ---
+
+    def _record_guard(self, event: GuardEvent,
+                      intervention: bool = True) -> None:
+        """Journal one guard event; mirror it into the telemetry sink."""
+        self._log.record_event(event, intervention=intervention)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "guard_intervention", step=event.step, time=event.time,
+                kind=event.kind, detail=event.detail)
+            self.telemetry.metrics.counter("safety.guard_events").inc()
 
     # ------------------------------------------------------------- protocol ---
 
@@ -242,7 +260,7 @@ class SafetySupervisor(Controller):
             # The controller itself failed structurally: journal it, force
             # LIMP_HOME (repeating the crash to satisfy a dwell count would
             # be absurd), and let the fallback carry this very step.
-            self._log.record_event(GuardEvent(
+            self._record_guard(GuardEvent(
                 step=self._step, time=self._time, kind="controller_error",
                 detail=f"{type(exc).__name__}: {exc}"))
             transition = self._machine.force(
@@ -251,7 +269,7 @@ class SafetySupervisor(Controller):
             self._handle_transition(transition)
             step = self.fallback.act(speed, acceleration, soc, dt, grade,
                                      learn=False, greedy=True)
-            self._log.record_event(GuardEvent(
+            self._record_guard(GuardEvent(
                 step=self._step, time=self._time, kind="fallback_engaged",
                 detail="fallback controller engaged after controller error"),
                 intervention=False)
@@ -288,7 +306,7 @@ class SafetySupervisor(Controller):
             shortfall=substitute.shortfall))
         paper_reward = float(self._reward.paper_reward(
             substitute.fuel_rate, substitute.aux_power, dt))
-        self._log.record_event(GuardEvent(
+        self._record_guard(GuardEvent(
             step=self._step, time=self._time, kind=violations[0][0],
             detail="; ".join(d for _, d in violations),
             action_before={"current": float(step.current),
@@ -345,6 +363,13 @@ class SafetySupervisor(Controller):
         self._log.record_transition(ModeTransition(
             step=self._step, time=self._time, source=source.name,
             target=target.name, reason=reason))
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "health_transition", step=self._step, time=self._time,
+                source=source.name, target=target.name, reason=reason)
+            metrics = self.telemetry.metrics
+            metrics.counter("safety.transitions").inc()
+            metrics.gauge("safety.mode").set(int(target))
         if source is HealthState.NOMINAL and target > source:
             # Leaving NOMINAL freezes learning; the wrapped agent's pending
             # TD transition would otherwise train on a stale step pair

@@ -110,15 +110,35 @@ def train_with_callbacks(simulator, controller, cycle, episodes: int,
     from repro.sim.training import TrainingRun, evaluate
 
     chain = CallbackList(callbacks)
+    telemetry = simulator.telemetry
+    span = None
+    if telemetry is not None:
+        span = telemetry.tracer.start(
+            "train.run", cycle=cycle.name, episodes=episodes,
+            first_episode=0, resumed=False)
     run = TrainingRun()
-    for ep in range(episodes):
-        result = simulator.run_episode(controller, cycle,
-                                       initial_soc=initial_soc, learn=True)
-        run.episodes.append(result)
-        try:
-            chain(ep, result)
-        except StopTraining:
-            break
-    run.evaluation = evaluate(simulator, controller, cycle,
-                              initial_soc=initial_soc)
+    completed = False
+    try:
+        for ep in range(episodes):
+            result = simulator.run_episode(controller, cycle,
+                                           initial_soc=initial_soc,
+                                           learn=True)
+            run.episodes.append(result)
+            if telemetry is not None:
+                telemetry.event(
+                    "training_episode", episode=ep,
+                    total_reward=float(result.total_reward),
+                    final_soc=float(result.final_soc))
+            try:
+                chain(ep, result)
+            except StopTraining:
+                break
+        run.evaluation = evaluate(simulator, controller, cycle,
+                                  initial_soc=initial_soc)
+        completed = True
+    finally:
+        if span is not None:
+            telemetry.tracer.end(
+                span, trained=len(run.episodes),
+                outcome="ok" if completed else "error")
     return run

@@ -206,12 +206,15 @@ def _row(name: str, scenario: str, result: EpisodeResult, healthy_mpg: float,
 def _guarded(controller: Controller, simulator: Simulator, guard: bool,
              supervisor_config) -> Controller:
     """Wrap one prepared controller for a guarded run (fresh supervisor per
-    run, so journals never leak between grid cells)."""
+    run, so journals never leak between grid cells).  The simulator's
+    telemetry (if any) is shared, so guard interventions land in the same
+    event stream as the episodes they happened in."""
     if not guard:
         return controller
     from repro.safety import SafetySupervisor
     return SafetySupervisor(controller, simulator.solver,
-                            config=supervisor_config)
+                            config=supervisor_config,
+                            telemetry=simulator.telemetry)
 
 
 def _healthy_run(simulator: Simulator, name: str, controller: Controller,

@@ -25,11 +25,18 @@ Two robustness layers run inside the step loop:
   before it is allowed to advance the battery state; a non-finite value
   raises :class:`repro.errors.NumericalError` immediately instead of
   silently poisoning the downstream traces and Q-values.
+
+A third, optional layer is **telemetry**
+(:class:`repro.telemetry.Telemetry`): when attached, each drive emits an
+``sim.episode`` span, sampled per-step events, an episode summary event,
+and step-latency/reward/SoC/shortfall metrics.  Disabled (the default),
+the step loop runs the seed code path bit-identically.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
 from repro.control.base import Controller
 from repro.cycles.cycle import DriveCycle
@@ -41,10 +48,19 @@ from repro.vehicle.battery import BatteryState
 
 
 class Simulator:
-    """Replays drive cycles against a controller."""
+    """Replays drive cycles against a controller.
 
-    def __init__(self, solver: PowertrainSolver):
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`, opt-in) streams
+    an ``sim.episode`` span, sampled ``step`` events, and an ``episode``
+    summary event per drive, plus step-latency/reward/SoC/shortfall
+    metrics.  ``None`` (the default) is a no-op fast path: the step loop
+    pays one predictable branch and the traces stay bit-identical to an
+    uninstrumented run.
+    """
+
+    def __init__(self, solver: PowertrainSolver, telemetry=None):
         self._solver = solver
+        self.telemetry = telemetry
         # Struct-of-arrays episode storage, reused across episodes (the
         # step loop writes slots; EpisodeResult gets copies at the end).
         self._buffers = EpisodeBuffers()
@@ -113,11 +129,28 @@ class Simulator:
         buffers = self._buffers
         buffers.reserve(steps)
 
+        telemetry = self.telemetry
+        span = None
+        step_hist = None
+        sample_every = 0
+        if telemetry is not None:
+            from repro.telemetry.metrics import LATENCY_BUCKETS_S
+            span = telemetry.tracer.start(
+                "sim.episode", cycle=cycle.name, steps=steps,
+                initial_soc=float(initial_soc), learn=bool(learn),
+                greedy=bool(greedy), faulted=harness is not None)
+            step_hist = telemetry.metrics.histogram(
+                "sim.step_seconds", buckets=LATENCY_BUCKETS_S)
+            sample_every = telemetry.step_sample_every
+
         controller.begin_episode()
         if harness is not None:
             harness.begin_episode()
+        completed = False
         try:
             for t, (speed, accel, grade) in enumerate(cycle.steps()):
+                step_start = (time.perf_counter() if step_hist is not None
+                              else 0.0)
                 if harness is not None:
                     capacity_before = self._solver.battery.params.capacity
                     harness.advance(t * cycle.dt)
@@ -180,10 +213,22 @@ class Simulator:
                 buffers.mode[t] = exec_mode
                 buffers.feasible[t] = exec_feasible
                 buffers.shortfall[t] = exec_shortfall
+                if telemetry is not None:
+                    step_hist.observe(time.perf_counter() - step_start)
+                    if t % sample_every == 0:
+                        telemetry.event(
+                            "step", t=t, speed=float(speed),
+                            soc=float(buffers.soc[t]),
+                            reward=float(step.reward),
+                            current=float(exec_current))
             controller.finish_episode(learn=learn)
+            completed = True
         finally:
             if harness is not None:
                 harness.restore()
+            if span is not None:
+                telemetry.tracer.end(
+                    span, outcome="ok" if completed else "error")
 
         # A safety-supervised controller exposes the episode's guard/mode
         # journal after finish_episode; attach it so the CLI, robustness
@@ -199,7 +244,7 @@ class Simulator:
         nominal_voltage = float(battery.open_circuit_voltage(
             0.5 * (params.soc_min + params.soc_max)))
         # The buffers are reused by the next episode; the result owns copies.
-        return EpisodeResult(
+        result = EpisodeResult(
             cycle_name=cycle.name, dt=cycle.dt, distance=cycle.distance,
             speeds=buffers.take("speeds", steps),
             power_demand=buffers.take("power_demand", steps),
@@ -219,3 +264,27 @@ class Simulator:
                           if harness is not None else None),
             shortfall=buffers.take("shortfall", steps),
             safety=safety_report)
+        if telemetry is not None:
+            self._record_episode(telemetry, result)
+        return result
+
+    @staticmethod
+    def _record_episode(telemetry, result: EpisodeResult) -> None:
+        """Emit the episode summary event and update the run metrics."""
+        steps = len(result.soc)
+        telemetry.event(
+            "episode", cycle=result.cycle_name, steps=int(steps),
+            initial_soc=float(result.initial_soc),
+            total_reward=float(result.total_reward),
+            total_fuel_g=float(result.total_fuel),
+            final_soc=float(result.final_soc),
+            total_shortfall=float(result.total_shortfall))
+        metrics = telemetry.metrics
+        metrics.counter("sim.episodes").inc()
+        metrics.counter("sim.steps").inc(steps)
+        metrics.counter("sim.fallback_steps").inc(result.fallback_steps)
+        metrics.counter("sim.total_shortfall").inc(result.total_shortfall)
+        if result.fault_active is not None:
+            metrics.counter("sim.faulted_steps").inc(result.faulted_steps)
+        metrics.gauge("sim.last_episode_reward").set(result.total_reward)
+        metrics.gauge("sim.final_soc").set(result.final_soc)

@@ -137,25 +137,45 @@ def train(simulator: Simulator, controller: Controller, cycle: DriveCycle,
     if checkpoint_path is not None:
         from repro.rl.persistence import save_checkpoint
         agent = _checkpoint_agent(controller)
+    telemetry = simulator.telemetry
+    span = None
+    if telemetry is not None:
+        span = telemetry.tracer.start(
+            "train.run", cycle=cycle.name, episodes=episodes,
+            first_episode=first_episode, resumed=resume_from is not None)
     run = TrainingRun()
-    for ep in range(first_episode, episodes):
-        if initial_soc_jitter > 0:
-            start = float(np.clip(
-                initial_soc + rng.uniform(-initial_soc_jitter,
-                                          initial_soc_jitter), lo, hi))
-        else:
-            start = initial_soc
-        result = simulator.run_episode(controller, cycle,
-                                       initial_soc=start, learn=True)
-        run.episodes.append(result)
-        if callback is not None:
-            callback(ep, result)
-        if checkpoint_path is not None and (ep + 1) % checkpoint_every == 0:
-            save_checkpoint(agent, checkpoint_path, episode=ep + 1,
-                            train_rng=rng)
-    if evaluate_after:
-        run.evaluation = evaluate(simulator, controller, cycle,
-                                  initial_soc=initial_soc)
+    completed = False
+    try:
+        for ep in range(first_episode, episodes):
+            if initial_soc_jitter > 0:
+                start = float(np.clip(
+                    initial_soc + rng.uniform(-initial_soc_jitter,
+                                              initial_soc_jitter), lo, hi))
+            else:
+                start = initial_soc
+            result = simulator.run_episode(controller, cycle,
+                                           initial_soc=start, learn=True)
+            run.episodes.append(result)
+            if telemetry is not None:
+                telemetry.event(
+                    "training_episode", episode=ep,
+                    total_reward=float(result.total_reward),
+                    final_soc=float(result.final_soc))
+            if callback is not None:
+                callback(ep, result)
+            if (checkpoint_path is not None
+                    and (ep + 1) % checkpoint_every == 0):
+                save_checkpoint(agent, checkpoint_path, episode=ep + 1,
+                                train_rng=rng)
+        if evaluate_after:
+            run.evaluation = evaluate(simulator, controller, cycle,
+                                      initial_soc=initial_soc)
+        completed = True
+    finally:
+        if span is not None:
+            telemetry.tracer.end(
+                span, trained=len(run.episodes),
+                outcome="ok" if completed else "error")
     return run
 
 

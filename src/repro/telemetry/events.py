@@ -1,0 +1,266 @@
+"""Versioned JSONL event sink: schema-validated, crash-tolerant appends.
+
+One telemetry file is one run's event stream: a header line followed by
+one JSON object per event, in emission order.  The format mirrors the
+sweep manifest (:mod:`repro.exec.manifest`) deliberately — append-only
+writes flushed per line, a torn final line (process killed mid-append)
+tolerated with a loud :class:`RuntimeWarning` on read, corruption
+anywhere else raising :class:`~repro.errors.TelemetryError`.
+
+Every record carries the base fields ``type`` (str), ``v`` (the schema
+version), ``seq`` (per-process emission counter), ``wall`` (unix time),
+and ``pid`` (emitting process — forked workers share the sink fd, so one
+file can interleave several processes' events).  Each event type then
+declares required typed fields in :data:`EVENT_SCHEMAS`; emission and
+reading both validate, so a consumer can rely on the declared shape.
+
+Appends go through a single ``os.write`` on an ``O_APPEND`` descriptor:
+on POSIX this makes each line one atomic append, which is what lets
+forked supervisor workers write into the parent's sink without tearing
+each other's records mid-line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import uuid
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import TelemetryError
+
+SCHEMA_VERSION = 1
+"""Current event-file schema version (first header field checked)."""
+
+_NUMBER = (int, float)
+
+BASE_FIELDS: Dict[str, Any] = {"type": str, "v": int, "seq": int,
+                               "wall": _NUMBER, "pid": int}
+"""Fields required on every record."""
+
+EVENT_SCHEMAS: Dict[str, Dict[str, Any]] = {
+    # the file header (always the first line)
+    "telemetry": {"run_id": str, "created_unix": _NUMBER},
+    # one finished tracer span
+    "span": {"name": str, "trace_id": str, "span_id": str,
+             "duration": _NUMBER, "attributes": dict},
+    # sampled simulator step
+    "step": {"t": int, "speed": _NUMBER, "soc": _NUMBER,
+             "reward": _NUMBER, "current": _NUMBER},
+    # one finished simulator episode
+    "episode": {"cycle": str, "steps": int, "initial_soc": _NUMBER,
+                "total_reward": _NUMBER, "total_fuel_g": _NUMBER,
+                "final_soc": _NUMBER, "total_shortfall": _NUMBER},
+    # one training-loop episode (index within the run)
+    "training_episode": {"episode": int, "total_reward": _NUMBER,
+                         "final_soc": _NUMBER},
+    # safety supervisor: guard intervened on (or observed) one step
+    "guard_intervention": {"step": int, "time": _NUMBER, "kind": str,
+                           "detail": str},
+    # safety supervisor: health state machine moved
+    "health_transition": {"step": int, "time": _NUMBER, "source": str,
+                          "target": str, "reason": str},
+    # supervised executor: one task reached a terminal outcome
+    "task": {"key": str, "outcome": str, "attempts": int,
+             "elapsed": _NUMBER},
+    # logging bridge: one WARNING+ log record
+    "log": {"level": str, "logger": str, "message": str},
+    # final metrics registry snapshot (emitted on Telemetry.close)
+    "metrics_snapshot": {"metrics": dict},
+}
+"""Required typed fields per event type (extra fields are allowed)."""
+
+
+def register_event_type(name: str, **fields: Any) -> None:
+    """Declare a new event type with its required typed fields.
+
+    Extension point for downstream instrumentation; re-registering an
+    existing type with a different shape raises."""
+    if not name:
+        raise TelemetryError("event types need a non-empty name")
+    existing = EVENT_SCHEMAS.get(name)
+    if existing is not None and existing != fields:
+        raise TelemetryError(
+            f"event type {name!r} is already registered with a different "
+            "schema")
+    EVENT_SCHEMAS[name] = dict(fields)
+
+
+def _type_name(expected: Any) -> str:
+    if expected is _NUMBER or expected == _NUMBER:
+        return "number"
+    return expected.__name__
+
+
+def validate_event(record: Mapping[str, Any]) -> None:
+    """Raise :class:`TelemetryError` unless ``record`` conforms.
+
+    Checks the base fields, that the type is declared, and every
+    declared field's presence and runtime type (bool never satisfies a
+    numeric field — JSON trues are not counts)."""
+    if not isinstance(record, Mapping):
+        raise TelemetryError(
+            f"telemetry records must be objects, got "
+            f"{type(record).__name__}")
+    kind = record.get("type")
+    if not isinstance(kind, str) or kind not in EVENT_SCHEMAS:
+        raise TelemetryError(f"unknown telemetry event type {kind!r}")
+    if record.get("v") != SCHEMA_VERSION:
+        raise TelemetryError(
+            f"telemetry record carries schema version {record.get('v')!r}; "
+            f"this reader understands {SCHEMA_VERSION}")
+    required = dict(BASE_FIELDS)
+    required.update(EVENT_SCHEMAS[kind])
+    for field, expected in required.items():
+        if field not in record:
+            raise TelemetryError(
+                f"{kind!r} event is missing required field {field!r}")
+        value = record[field]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise TelemetryError(
+                f"{kind!r} event field {field!r} must be "
+                f"{_type_name(expected)}, got {type(value).__name__}")
+
+
+class EventSink:
+    """Append-only, schema-validated JSONL event writer.
+
+    A fresh path gets a header line; an existing file is refused unless
+    ``append=True`` (an event stream is never silently overwritten), in
+    which case the existing header is checked for version compatibility
+    and its run id adopted.
+    """
+
+    def __init__(self, path: Union[str, Path], run_id: Optional[str] = None,
+                 append: bool = False):
+        self.path = Path(path)
+        exists = self.path.exists()
+        if exists and not append:
+            raise TelemetryError(
+                f"telemetry file {self.path} already exists; pass "
+                "append=True to continue it, or choose a fresh path")
+        if not exists and append:
+            raise TelemetryError(
+                f"cannot append: telemetry file {self.path} does not exist")
+        self._seq = 0
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        if exists:
+            header = _read_header(self.path)
+            self.run_id = str(header.get("run_id", ""))
+        else:
+            self.run_id = run_id or uuid.uuid4().hex[:12]
+            self.emit("telemetry", run_id=self.run_id,
+                      created_unix=time.time())
+
+    def emit(self, type_: str, **fields: Any) -> dict:
+        """Validate and append one event; returns the full record."""
+        if self._fd is None:
+            raise TelemetryError(
+                f"telemetry sink {self.path} is closed")
+        record = {"type": type_, "v": SCHEMA_VERSION, "seq": self._seq,
+                  "wall": time.time(), "pid": os.getpid()}
+        record.update(fields)
+        validate_event(record)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # One os.write per line: atomic O_APPEND append, so concurrent
+        # forked writers interleave whole records, never fragments.
+        os.write(self._fd, line.encode("utf-8"))
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        """Release the descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._fd is None
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _parse_lines(path: Path) -> List[Tuple[int, dict]]:
+    """``(lineno, record)`` pairs; torn final line tolerated loudly."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise TelemetryError(
+            f"cannot read telemetry file {path}: {exc}") from exc
+    records: List[Tuple[int, dict]] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                # Torn final line: the instrumented process was killed
+                # mid-append.  Everything before it is intact; the partial
+                # event is discarded — loudly, so an operator can tell a
+                # clean file from a crash artefact.
+                warnings.warn(
+                    f"{path}:{index + 1}: discarding torn final telemetry "
+                    f"record (crash mid-append?)", RuntimeWarning,
+                    stacklevel=3)
+                break
+            raise TelemetryError(
+                f"{path}:{index + 1}: corrupt telemetry record "
+                f"({exc})") from exc
+        records.append((index + 1, record))
+    return records
+
+
+def _read_header(path: Path) -> dict:
+    """The validated header record of an existing event file."""
+    records = _parse_lines(path)
+    if not records:
+        raise TelemetryError(f"telemetry file {path} holds no records")
+    lineno, header = records[0]
+    try:
+        validate_event(header)
+    except TelemetryError as exc:
+        raise TelemetryError(f"{path}:{lineno}: bad header: {exc}") from exc
+    if header.get("type") != "telemetry":
+        raise TelemetryError(
+            f"{path}:{lineno}: first record must be the 'telemetry' "
+            f"header, got {header.get('type')!r}")
+    return header
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Load and validate every event of one telemetry file.
+
+    Returns the records in file order, header included.  A torn final
+    line warns and is dropped (crash tolerance); any other malformation
+    — corrupt JSON mid-file, an unknown event type, a missing or
+    mistyped field, a version mismatch — raises
+    :class:`~repro.errors.TelemetryError`."""
+    path = Path(path)
+    records = _parse_lines(path)
+    if not records:
+        raise TelemetryError(f"telemetry file {path} holds no records")
+    lineno, header = records[0]
+    if header.get("type") != "telemetry":
+        raise TelemetryError(
+            f"{path}:{lineno}: first record must be the 'telemetry' "
+            f"header, got {header.get('type')!r}")
+    out = []
+    for lineno, record in records:
+        try:
+            validate_event(record)
+        except TelemetryError as exc:
+            raise TelemetryError(f"{path}:{lineno}: {exc}") from exc
+        out.append(record)
+    return out

@@ -20,10 +20,10 @@ class TestCyclesCommand:
         header = out_path.read_text().splitlines()[0]
         assert "time_s" in header
 
-    def test_unknown_cycle_raises(self, tmp_path):
-        with pytest.raises(KeyError):
-            main(["cycles", "--export", "NOPE",
-                  "--output", str(tmp_path / "x.csv")])
+    def test_unknown_cycle_is_structured_error(self, tmp_path, capsys):
+        assert main(["cycles", "--export", "NOPE",
+                     "--output", str(tmp_path / "x.csv")]) == 2
+        assert "unknown cycle" in capsys.readouterr().err
 
 
 class TestTrainCommand:
