@@ -21,6 +21,8 @@ from typing import List, Tuple
 API_BOUNDARY_MODULES = [
     "src/repro/cli.py",
     "src/repro/errors.py",
+    "src/repro/fsio.py",
+    "src/repro/chaos/*.py",
     "src/repro/exec/*.py",
     "src/repro/faults/*.py",
     "src/repro/sim/*.py",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday workflows:
+Nine subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
@@ -23,6 +23,10 @@ Eight subcommands cover the everyday workflows:
   full journal: guard events, mode transitions, and time in each mode.
 * ``telemetry`` — ``telemetry report PATH`` summarises a telemetry event
   file (or a sweep manifest's task latency) written by a previous run.
+* ``chaos``    — run a deterministic infrastructure-fault campaign
+  against the repo's own executor/manifest/persistence/telemetry layers
+  and report detection and recovery rates (see ``docs/ROBUSTNESS.md``).
+  Exits 1 if any documented recovery invariant broke.
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
 (:class:`repro.errors.ReproError`) — including executor and manifest
@@ -241,6 +245,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument("path",
                        help="a telemetry event file written with "
                             "--telemetry, or a sweep manifest")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="deterministic infrastructure-fault campaign")
+    p_chaos.add_argument("--seeds", type=int, default=20,
+                         help="campaign seeds to run (fault parameters "
+                              "and order vary per seed; default 20)")
+    p_chaos.add_argument("--kinds", default=None,
+                         help="comma-separated fault kinds (default: all; "
+                              "see repro.chaos.FAULT_KINDS)")
+    p_chaos.add_argument("--report", metavar="PATH",
+                         help="also write the full campaign report as "
+                              "JSON to this path")
+    p_chaos.add_argument("--workdir", metavar="DIR",
+                         help="run experiments under this directory and "
+                              "keep the artifacts (default: a temporary "
+                              "directory, removed afterwards)")
     return parser
 
 
@@ -462,6 +482,26 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_module
+
+    from repro.chaos import run_campaign
+    kinds = None
+    if args.kinds is not None:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    report = run_campaign(seeds=args.seeds, kinds=kinds,
+                          workdir=args.workdir, progress=_LOG.info)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json_module.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        _LOG.info("campaign report written to %s", args.report)
+    # A broken invariant is a finding, not a crash: full report above,
+    # non-zero exit so CI and scripts notice.
+    return 0 if report.clean else 1
+
+
 def _cmd_faults(args) -> int:
     scenarios = builtin_scenarios()
     print(f"{'name':15s} {'faults':>6s}  description")
@@ -494,6 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "guard-report": _cmd_guard_report,
         "telemetry": _cmd_telemetry,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

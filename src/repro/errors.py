@@ -102,6 +102,26 @@ class TelemetryError(ReproError, ValueError):
     they are structured errors at the observability API boundary."""
 
 
+class ChaosError(ReproError, ValueError):
+    """The chaos harness is misconfigured or cannot run (unknown fault
+    kind, empty campaign, overlapping filesystem-shim installation).
+
+    Fault *injections themselves* never raise this — the injected
+    failures surface through the layer under attack as the structured
+    error that layer documents (:class:`ManifestError`,
+    :class:`PersistenceError`, :class:`TelemetryError`, ...)."""
+
+
+class InvariantViolation(ChaosError):
+    """A chaos experiment caught the stack breaking a documented recovery
+    guarantee: a fault went undetected, a resume was not bit-identical,
+    or coverage accounting lied.
+
+    This is the chaos harness's *finding*, not its failure — the
+    campaign records it and keeps going so one broken invariant cannot
+    hide another."""
+
+
 class SafetyHaltError(ReproError, RuntimeError):
     """The runtime safety supervisor reached HALT and stopped the episode.
 

@@ -26,8 +26,14 @@ fields inside ``failure``.)
 Quarantined records are journaled for the post-mortem but are **not**
 skipped on resume — a failed task is not finished work, so the re-launch
 tries it again.  A torn final line (the process was killed mid-write) is
-tolerated and ignored; corruption anywhere else raises
-:class:`repro.errors.ManifestError`.
+tolerated: it is discarded with a loud ``RuntimeWarning`` *and truncated
+out of the file*, so the resumed run's first append cannot concatenate
+onto the fragment.  Corruption anywhere else — unparseable JSON mid-file
+or a parseable record missing its hash/payload/failure fields — raises
+:class:`repro.errors.ManifestError` rather than ever resuming silently
+wrong.  Appends go through :mod:`repro.fsio` (write + per-record fsync),
+so the chaos harness can inject ENOSPC/slow-write faults, and an append
+failure surfaces as a ``ManifestError`` naming the journal.
 
 Payload encoding is JSON with tagged extensions — numpy arrays and a
 small allow-list of repro dataclasses round-trip exactly (floats via
@@ -54,6 +60,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import fsio
 from repro.errors import ManifestError
 from repro.exec.task import Task, TaskFailure
 
@@ -230,9 +237,19 @@ class SweepManifest:
 
     def _append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
+        try:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fsio.file_write(fh, line + "\n", path=self.path)
+                fh.flush()
+                # fsync per record: a journal line the supervisor acted on
+                # (skipping the task on resume) must survive a power cut,
+                # not just a process kill.
+                fsio.fsync(fh.fileno(), path=self.path)
+        except OSError as exc:
+            raise ManifestError(
+                f"cannot append to manifest {self.path} ({exc}); the "
+                "journal holds every record up to this one — resume from "
+                "it once the underlying problem is fixed") from exc
 
     def _load(self) -> None:
         lines = self.path.read_text(encoding="utf-8").splitlines()
@@ -253,11 +270,29 @@ class SweepManifest:
                         f"manifest record (crash mid-append?); the "
                         f"affected task will re-run", RuntimeWarning,
                         stacklevel=2)
+                    self._amputate_torn_tail()
                     break
                 raise ManifestError(
                     f"{self.path}:{index + 1}: corrupt manifest record "
                     f"({exc})") from exc
             self._ingest(record, index + 1)
+
+    def _amputate_torn_tail(self) -> None:
+        """Truncate the discarded torn final record out of the journal.
+
+        Tolerating a torn final line on *read* is not enough: this
+        manifest is about to be appended to, and a new record written
+        after a newline-less fragment would concatenate onto it —
+        turning a recoverable torn *final* line into an unrecoverable
+        corrupt *mid-file* line for the next resume.  The fragment was
+        already judged dead (its task re-runs), so cutting it off is
+        safe and makes recovery idempotent.
+        """
+        raw = self.path.read_bytes()
+        end = len(raw) - 1 if raw.endswith(b"\n") else len(raw)
+        cut = raw.rfind(b"\n", 0, end) + 1
+        with self.path.open("r+b") as fh:
+            fh.truncate(cut)
 
     def _ingest(self, record: Mapping[str, Any], lineno: int) -> None:
         kind = record.get("type")
@@ -271,11 +306,30 @@ class SweepManifest:
         if kind != "result":
             raise ManifestError(
                 f"{self.path}:{lineno}: unknown record type {kind!r}")
-        h = str(record.get("hash", ""))
+        h = record.get("hash")
+        if not isinstance(h, str) or not h:
+            raise ManifestError(
+                f"{self.path}:{lineno}: result record carries no spec "
+                "hash — the line is torn or was edited; refusing to "
+                "resume from a journal that cannot identify its tasks")
         if record.get("status") == "ok":
-            self._completed[h] = decode_payload(record.get("payload"))
+            if "payload" not in record:
+                # A parseable-but-incomplete line (torn at a field
+                # boundary, or hand-stripped) must never resume as a
+                # silently None payload.
+                raise ManifestError(
+                    f"{self.path}:{lineno}: ok record for "
+                    f"{record.get('key', '?')!r} has no payload — the "
+                    "line is torn or incomplete")
+            self._completed[h] = decode_payload(record["payload"])
         elif record.get("status") == "quarantined":
-            self._failed[h] = TaskFailure.from_json(record.get("failure", {}))
+            failure = record.get("failure")
+            if not isinstance(failure, Mapping):
+                raise ManifestError(
+                    f"{self.path}:{lineno}: quarantined record for "
+                    f"{record.get('key', '?')!r} has no failure record — "
+                    "the line is torn or incomplete")
+            self._failed[h] = TaskFailure.from_json(failure)
         else:
             raise ManifestError(
                 f"{self.path}:{lineno}: unknown result status "

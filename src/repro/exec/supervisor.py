@@ -18,8 +18,12 @@ Execution modes
 * **Isolated workers** (``jobs > 1`` or any ``timeout``): each attempt
   runs in its own forked worker process, so a crash (segfault, OOM kill)
   or a hang cannot take the sweep down — a hung worker is killed when
-  its wall-clock ``timeout`` expires.  Fork semantics mean task closures
-  never need pickling; only *results* cross the process boundary.
+  its wall-clock ``timeout`` expires.  Killing escalates: SIGTERM first,
+  then — after ``kill_grace`` seconds without exit — SIGKILL, so even a
+  worker that installs a SIGTERM handler and refuses to die cannot stall
+  the sweep (escalations tick the ``exec.sigkills`` counter).  Fork
+  semantics mean task closures never need pickling; only *results*
+  cross the process boundary.
 
 Retries use exponential backoff with deterministic jitter
 (:class:`BackoffPolicy`): the delay for ``(task key, attempt)`` is a pure
@@ -149,7 +153,7 @@ class Supervisor:
                  retries: int = 0, backoff: Optional[BackoffPolicy] = None,
                  manifest: Optional[SweepManifest] = None,
                  failure_mode: str = "quarantine",
-                 telemetry=None):
+                 telemetry=None, kill_grace: float = 1.0):
         if not isinstance(jobs, int) or jobs < 1:
             raise ConfigurationError(f"jobs must be a positive int, "
                                      f"got {jobs!r}")
@@ -163,6 +167,9 @@ class Supervisor:
             raise ConfigurationError(
                 f"failure_mode must be 'quarantine' or 'raise', "
                 f"got {failure_mode!r}")
+        if not kill_grace > 0:
+            raise ConfigurationError(
+                f"kill_grace must be positive seconds, got {kill_grace!r}")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
@@ -170,6 +177,7 @@ class Supervisor:
         self.manifest = manifest
         self.failure_mode = failure_mode
         self.telemetry = telemetry
+        self.kill_grace = float(kill_grace)
 
     @property
     def isolated(self) -> bool:
@@ -338,7 +346,7 @@ class Supervisor:
                 self._reap(pending, running, sweep, spans, now)
         finally:
             for slot in running:
-                slot.kill()
+                self._kill_slot(slot)
             if self.telemetry is not None:
                 # Tasks still in flight when the sweep aborts (raise mode)
                 # get their spans closed so the trace stays complete.
@@ -375,7 +383,8 @@ class Supervisor:
             deadline = now + self.timeout if self.timeout else None
             running.append(_WorkerSlot(task=task, attempt=attempt,
                                        proc=proc, conn=parent_conn,
-                                       started=now, deadline=deadline))
+                                       started=now, deadline=deadline,
+                                       grace=self.kill_grace))
 
     def _wait(self, pending, running: List["_WorkerSlot"],
               now: float) -> None:
@@ -400,9 +409,11 @@ class Supervisor:
             if slot.conn in ready:
                 outcome = slot.collect()
             elif slot.deadline is not None and now >= slot.deadline:
-                slot.kill()
+                escalated = self._kill_slot(slot)
+                how = ("SIGKILLed after ignoring SIGTERM for "
+                       f"{slot.grace:g}s" if escalated else "killed")
                 outcome = ("timeout", "", f"no result within "
-                           f"{self.timeout:g}s wall-clock; worker killed",
+                           f"{self.timeout:g}s wall-clock; worker {how}",
                            "")
             else:
                 continue
@@ -428,6 +439,14 @@ class Supervisor:
                 exception_type=exception_type, message=message,
                 traceback=tb, attempts=slot.attempt, elapsed=elapsed))
 
+    def _kill_slot(self, slot: "_WorkerSlot") -> bool:
+        """Kill one worker, escalating if needed; ticks ``exec.sigkills``
+        when SIGTERM was not enough.  Returns True on escalation."""
+        escalated = slot.kill()
+        if escalated and self.telemetry is not None:
+            self.telemetry.metrics.counter("exec.sigkills").inc()
+        return escalated
+
     def _end_task_span(self, spans: Dict[str, Any], slot: "_WorkerSlot",
                        outcome: str) -> None:
         if self.telemetry is None:
@@ -448,6 +467,8 @@ class _WorkerSlot:
     conn: mp_connection.Connection
     started: float
     deadline: Optional[float]
+    grace: float = 1.0
+    """Seconds a SIGTERMed worker gets to exit before SIGKILL."""
 
     def collect(self):
         """Drain the worker's report; classify a silent death as a crash."""
@@ -464,17 +485,28 @@ class _WorkerSlot:
         self.conn.close()
         if self.proc.is_alive():
             self.proc.kill()
+            self.proc.join(timeout=5.0)
         return message
 
-    def kill(self) -> None:
-        """Forcibly stop the worker (timeout or sweep teardown)."""
+    def kill(self) -> bool:
+        """Stop the worker (timeout or sweep teardown), escalating.
+
+        SIGTERM first — a cooperative worker gets ``grace`` seconds to
+        clean up and exit — then SIGKILL, which no handler can ignore.
+        Returns True when escalation was needed (the worker blocked or
+        ignored SIGTERM); the caller surfaces that in the failure record
+        and metrics, because a SIGTERM-proof task is worth knowing about.
+        """
+        escalated = False
         if self.proc.is_alive():
             self.proc.terminate()
-            self.proc.join(timeout=1.0)
+            self.proc.join(timeout=self.grace)
         if self.proc.is_alive():
+            escalated = True
             self.proc.kill()
-            self.proc.join(timeout=1.0)
+            self.proc.join(timeout=5.0)
         self.conn.close()
+        return escalated
 
 
 def _worker_entry(fn, conn, span_context=None) -> None:

@@ -25,6 +25,13 @@ Two durability guarantees underpin crash-safe training
   (bit rot, torn copies, partial downloads) surfaces as a structured
   :class:`repro.errors.PersistenceError` naming both digests instead of a
   numpy/zipfile traceback — or worse, a quietly scrambled policy.
+  Digestless legacy sidecars still load, but emit a ``RuntimeWarning``
+  naming the file: an unverified load is never silent.
+
+All writes go through :mod:`repro.fsio`, the chaos harness's fault
+injection point (``repro.chaos`` attacks these guarantees with simulated
+ENOSPC, torn writes, and bit rot, and verifies the promises above); with
+no shim installed the wrappers are pass-through.
 """
 
 from __future__ import annotations
@@ -34,12 +41,14 @@ import io
 import json
 import os
 import tempfile
+import warnings
 import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
+from repro import fsio
 from repro.errors import CheckpointError, PersistenceError
 from repro.rl.agent import JointControlAgent
 
@@ -53,21 +62,34 @@ CHECKPOINT_VERSION = 1
 # ------------------------------------------------------------ atomic writes ---
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary sibling is fsynced before the rename and the parent
+    directory after it, so the swap is durable, not just atomic.  All
+    I/O goes through :mod:`repro.fsio` (the chaos harness's injection
+    point); an ``OSError`` anywhere — ENOSPC, EIO, a chaos shim —
+    surfaces as a :class:`repro.errors.PersistenceError` and leaves any
+    previous file at ``path`` untouched.
+    """
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                prefix=path.name + ".", suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as f:
-            f.write(payload)
+            fsio.file_write(f, payload, path=path)
             f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, path)
-    except BaseException:
+            fsio.fsync(f.fileno(), path=path)
+        fsio.replace(tmp, path)
+    except BaseException as exc:
         try:
             os.unlink(tmp)
         except OSError:  # containment: best-effort tmp cleanup; the original error re-raises below
             pass
+        if isinstance(exc, OSError):
+            raise PersistenceError(
+                f"{path}: cannot persist ({exc}); the write was aborted "
+                "and the previous file, if any, is untouched") from exc
         raise
+    fsio.fsync_directory(path.parent)
 
 
 def _atomic_save_npz(path: Path, **arrays: np.ndarray) -> str:
@@ -85,11 +107,19 @@ def _load_npz_verified(path: Path, expected_digest: Optional[str]) -> dict:
     """Read an ``.npz``, verifying its digest against the sidecar's record.
 
     Sidecars written before integrity checking carry no digest
-    (``expected_digest=None``); those load unverified for compatibility.
-    Any corruption — digest mismatch, truncated archive, unreadable
-    member — raises :class:`repro.errors.PersistenceError`.
+    (``expected_digest=None``); those load unverified for compatibility —
+    but *loudly*, with a ``RuntimeWarning`` naming the file, so an
+    operator can tell a verified load from a trust-me one (mirroring the
+    torn-manifest-line warning).  Any corruption — digest mismatch,
+    truncated archive, unreadable member — raises
+    :class:`repro.errors.PersistenceError`.
     """
     payload = path.read_bytes()
+    if expected_digest is None:
+        warnings.warn(
+            f"{path}: sidecar records no SHA-256 digest (written before "
+            f"integrity checking); loading unverified — re-save to gain "
+            f"corruption detection", RuntimeWarning, stacklevel=3)
     if expected_digest is not None:
         actual = hashlib.sha256(payload).hexdigest()
         if actual != expected_digest:

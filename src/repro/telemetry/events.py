@@ -17,7 +17,11 @@ reading both validate, so a consumer can rely on the declared shape.
 Appends go through a single ``os.write`` on an ``O_APPEND`` descriptor:
 on POSIX this makes each line one atomic append, which is what lets
 forked supervisor workers write into the parent's sink without tearing
-each other's records mid-line.
+each other's records mid-line.  The write is routed through
+:mod:`repro.fsio` (pass-through unless the chaos harness installs a
+fault-injecting shim); a failed append raises
+:class:`~repro.errors.TelemetryError` and leaves every earlier line
+intact.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import fsio
 from repro.errors import TelemetryError
 
 SCHEMA_VERSION = 1
@@ -167,9 +172,17 @@ class EventSink:
         record.update(fields)
         validate_event(record)
         line = json.dumps(record, sort_keys=True) + "\n"
-        # One os.write per line: atomic O_APPEND append, so concurrent
-        # forked writers interleave whole records, never fragments.
-        os.write(self._fd, line.encode("utf-8"))
+        # One write per line: atomic O_APPEND append, so concurrent
+        # forked writers interleave whole records, never fragments.  The
+        # write goes through repro.fsio (the chaos harness's injection
+        # point; pass-through when no shim is installed).
+        try:
+            fsio.os_write(self._fd, line.encode("utf-8"), path=self.path)
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot append to telemetry file {self.path} ({exc}); "
+                "the event was not recorded — every earlier line is "
+                "intact") from exc
         self._seq += 1
         return record
 

@@ -7,10 +7,14 @@ determinism of batch summaries, and manifest journaling / resume.
 """
 
 import os
+import signal
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.control import RuleBasedController
 from repro.cycles import CycleSpec, synthesize
@@ -46,6 +50,28 @@ def _raise_value_error():
 
 def _hang_forever():
     time.sleep(60)
+
+
+def _sigterm_proof_hang():
+    """A worker that ignores SIGTERM and never returns (forked)."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(0.05)
+
+
+def _double_seven():
+    return 14
+
+
+def _fuzz_tasks(n, must_not_run=False):
+    """Deterministic fuzz workload; ``must_not_run`` asserts on execution
+    (every task is expected to replay from the journal)."""
+    def fn(i):
+        if must_not_run:
+            raise AssertionError(f"finished task t{i} was re-executed")
+        return {"i": i, "x": 0.5 * i}
+    return [Task(key=f"t{i}", fn=(lambda i=i: fn(i)), spec={"index": i})
+            for i in range(n)]
 
 
 def _die_hard():
@@ -377,6 +403,154 @@ class TestSweepManifest:
         failure = next(iter(manifest.quarantined.values()))
         assert isinstance(failure, TaskFailure)
         assert failure.exception_type == "ValueError"
+
+    def test_torn_final_line_is_amputated(self, tmp_path):
+        """Tolerating a torn tail on read is not enough: the fragment
+        must be truncated out, or the resumed run's first append would
+        concatenate onto it and corrupt the journal mid-file."""
+        path = tmp_path / "m.jsonl"
+        Supervisor(manifest=SweepManifest(path)).run(
+            [_task("a", lambda: 1, n=1)])
+        with path.open("a") as fh:
+            fh.write('{"type": "result", "st')  # killed mid-append
+        with pytest.warns(RuntimeWarning, match="torn final"):
+            manifest = SweepManifest(path, resume=True)
+        Supervisor(manifest=manifest).run(
+            [_task("a", lambda: 1, n=1), _task("b", lambda: 2, n=2)])
+        # The append after crash recovery landed on a clean boundary:
+        # a third open parses every line and warns about nothing.
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            again = SweepManifest(path, resume=True)
+        assert len(again.completed) == 2
+
+    def test_ok_record_without_payload_refuses_resume(self, tmp_path):
+        """A parseable line stripped of its payload must never resume as
+        a silent None payload."""
+        import json
+        path = tmp_path / "m.jsonl"
+        Supervisor(manifest=SweepManifest(path)).run(
+            [_task("a", lambda: 11, n=1), _task("b", lambda: 22, n=2)])
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["payload"]
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ManifestError, match="no payload"):
+            SweepManifest(path, resume=True)
+
+    def test_result_record_without_hash_refuses_resume(self, tmp_path):
+        import json
+        path = tmp_path / "m.jsonl"
+        Supervisor(manifest=SweepManifest(path)).run(
+            [_task("a", lambda: 11, n=1)])
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["hash"]
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ManifestError, match="no spec hash"):
+            SweepManifest(path, resume=True)
+
+
+class TestKillEscalation:
+    """SIGTERM → grace → SIGKILL: no worker can outlive its timeout."""
+
+    def test_rejects_nonpositive_grace(self):
+        with pytest.raises(ConfigurationError, match="kill_grace"):
+            Supervisor(kill_grace=0.0)
+
+    def test_sigterm_ignoring_worker_is_sigkilled(self):
+        supervisor = Supervisor(timeout=0.3, kill_grace=0.15)
+        start = time.monotonic()
+        sweep = supervisor.run([_task("stubborn", _sigterm_proof_hang),
+                                _task("fine", _double_seven)])
+        elapsed = time.monotonic() - start
+        assert sweep.results == {"fine": 14}
+        assert sweep.quarantined == ["stubborn"]
+        failure = sweep.failures[0]
+        assert failure.kind == "timeout"
+        assert "SIGKILL" in failure.message
+        # Bounded by timeout + grace + joins, never a hang of our own.
+        assert elapsed < 15.0
+
+    def test_cooperative_worker_is_not_reported_escalated(self):
+        supervisor = Supervisor(timeout=0.3, kill_grace=2.0)
+        sweep = supervisor.run([_task("hang", _hang_forever)])
+        failure = sweep.failures[0]
+        assert failure.kind == "timeout"
+        assert "SIGKILL" not in failure.message
+
+    def test_escalation_ticks_sigkill_counter(self, tmp_path):
+        from repro.telemetry import Telemetry
+        with Telemetry(tmp_path / "t.jsonl") as telemetry:
+            supervisor = Supervisor(timeout=0.3, kill_grace=0.15,
+                                    telemetry=telemetry)
+            supervisor.run([_task("stubborn", _sigterm_proof_hang)])
+            assert telemetry.metrics.counter("exec.sigkills").value == 1
+
+
+class TestManifestFuzz:
+    """Property-style journal resilience: random duplication, reordering,
+    and tearing must either resume exactly or refuse loudly — never
+    resume silently wrong."""
+
+    @staticmethod
+    def _journal(tmp_dir, n):
+        path = Path(tmp_dir) / "m.jsonl"
+        Supervisor(manifest=SweepManifest(path)).run(_fuzz_tasks(n))
+        return path
+
+    @staticmethod
+    def _expected(n):
+        return {f"t{i}": {"i": i, "x": 0.5 * i} for i in range(n)}
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 6), data=st.data())
+    def test_duplicated_and_reordered_lines_resume_exactly(self, n, data):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self._journal(tmp, n)
+            header, *results = path.read_text().splitlines()
+            dup = data.draw(st.lists(st.sampled_from(results), max_size=4))
+            order = data.draw(st.permutations(results + dup))
+            path.write_text("\n".join([header] + list(order)) + "\n")
+            sweep = Supervisor(
+                manifest=SweepManifest(path, resume=True)).run(
+                _fuzz_tasks(n, must_not_run=True))
+            assert sweep.results == self._expected(n)
+            assert sorted(sweep.resumed) == sorted(f"t{i}"
+                                                   for i in range(n))
+            assert sweep.coverage == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 6), target=st.integers(0, 4),
+           cut=st.floats(0.05, 0.95))
+    def test_torn_midfile_line_refuses_resume(self, n, target, cut):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self._journal(tmp, n)
+            header, *results = path.read_text().splitlines()
+            index = target % (n - 1)  # never the final line
+            results[index] = results[index][
+                :max(1, int(len(results[index]) * cut))]
+            path.write_text("\n".join([header] + results) + "\n")
+            with pytest.raises(ManifestError):
+                SweepManifest(path, resume=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(2, 6), cut=st.floats(0.05, 0.95))
+    def test_torn_final_line_resumes_exactly(self, n, cut):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self._journal(tmp, n)
+            header, *results = path.read_text().splitlines()
+            torn = results[-1][:max(1, int(len(results[-1]) * cut))]
+            path.write_text("\n".join([header] + results[:-1])
+                            + "\n" + torn)
+            with pytest.warns(RuntimeWarning, match="torn final"):
+                manifest = SweepManifest(path, resume=True)
+            sweep = Supervisor(manifest=manifest).run(_fuzz_tasks(n))
+            assert sweep.results == self._expected(n)
+            assert len(sweep.resumed) == n - 1  # torn task re-ran
 
 
 class TestBatchThroughSupervisor:

@@ -128,7 +128,10 @@ class TestIntegrity:
         sidecar.write_text(json.dumps(meta))
         fresh = build_rl_controller(PowertrainSolver(default_vehicle()),
                                     seed=99).agent
-        load_policy(fresh, tmp_path / "policy")  # back-compat: no raise
+        # Back-compat: no raise — but never silent: the unverified load
+        # warns, naming the file.
+        with pytest.warns(RuntimeWarning, match=r"policy\.npz.*no SHA-256"):
+            load_policy(fresh, tmp_path / "policy")
         assert np.array_equal(fresh.learner.qtable.values,
                               trained_agent.learner.qtable.values)
 
