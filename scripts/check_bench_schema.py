@@ -10,12 +10,16 @@ Two duties:
    ``timestamp`` (ISO-8601 string), and a non-empty ``metrics`` list of
    ``{"name": str, "value": finite number, "units": str}``.
 2. **Throughput regression** — ``--compare NEW BASELINE`` additionally
-   fails when NEW's ``vectorized_speedup`` drops more than
-   ``--tolerance`` (default 20%) below BASELINE's.  The speedup ratio is
-   compared rather than absolute steps/sec so the gate holds on machines
-   slower or faster than the one that produced the baseline; pass
-   ``--absolute`` to also gate ``steps_per_sec_vectorized`` when old and
-   new runs share one machine.
+   fails when a gated higher-is-better metric drops more than
+   ``--tolerance`` (default 20%) below BASELINE's: the step pipeline's
+   ``vectorized_speedup`` and the fleet server's
+   ``batched_decision_speedup``.  Speedup ratios are compared rather
+   than absolute throughput so the gate holds on machines slower or
+   faster than the one that produced the baseline; pass ``--absolute``
+   to also gate ``steps_per_sec_vectorized`` and the policy server's
+   ``decisions_per_sec`` when old and new runs share one machine.
+   Metrics absent from the baseline are skipped, so one gate serves
+   every ``BENCH_*.json`` pair.
 
 Exits non-zero listing every violation.  Run from anywhere:
 ``python scripts/check_bench_schema.py [--compare NEW BASELINE]``.
@@ -30,10 +34,10 @@ import sys
 from pathlib import Path
 from typing import Dict, List
 
-RATIO_METRICS = ("vectorized_speedup",)
+RATIO_METRICS = ("vectorized_speedup", "batched_decision_speedup")
 """Machine-independent higher-is-better metrics gated by ``--compare``."""
 
-ABSOLUTE_METRICS = ("steps_per_sec_vectorized",)
+ABSOLUTE_METRICS = ("steps_per_sec_vectorized", "decisions_per_sec")
 """Machine-dependent metrics gated only with ``--absolute``."""
 
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""CI smoke test: the serving layer's headline promises, end to end.
+
+Trains a tiny policy on a short synthetic cycle, publishes it to a
+temporary registry, and drives the full serving story in well under 30
+seconds:
+
+1. **Serve** — activate the latest version and decide the whole state
+   grid.
+2. **Hot-swap** — swap to a bit-identical republish; every decision must
+   match no-swap serving exactly.
+3. **Refusal** — corrupt a published candidate's table bytes; the swap
+   must be refused (structured reason, incumbent untouched), never
+   crash.
+4. **Forced rollback** — canary a deliberately scrambled candidate over
+   a fleet run; the rollout must end in an automatic rollback within the
+   decision budget, with the incumbent still serving.
+
+Exits non-zero naming the first broken promise.  Run from anywhere:
+``python scripts/smoke_serve.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.control.rl_controller import build_rl_controller  # noqa: E402
+from repro.cycles import DriveCycle  # noqa: E402
+from repro.powertrain import PowertrainSolver  # noqa: E402
+from repro.serve import (  # noqa: E402
+    CanaryConfig,
+    FleetConfig,
+    FleetSimulator,
+    PolicyRegistry,
+    PolicyServer,
+)
+from repro.sim import Simulator, train  # noqa: E402
+from repro.vehicle import default_vehicle  # noqa: E402
+
+ROLLBACK_BUDGET = 4000
+"""Canary decision budget the forced rollback must beat."""
+
+
+def _tiny_trained_agent():
+    """A quickly but genuinely trained agent (short synthetic cycle)."""
+    speeds = np.concatenate([np.linspace(0.0, 12.0, 20),
+                             np.linspace(12.0, 0.0, 20)])
+    cycle = DriveCycle("smoke-serve", speeds)
+    solver = PowertrainSolver(default_vehicle())
+    controller = build_rl_controller(solver, seed=7)
+    train(Simulator(solver), controller, cycle, episodes=3,
+          evaluate_after=False)
+    return controller.agent
+
+
+def main() -> int:
+    start = time.monotonic()
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        agent = _tiny_trained_agent()
+        registry = PolicyRegistry(Path(tmp) / "registry")
+        registry.publish(agent)          # v1: incumbent
+        registry.publish(agent)          # v2: bit-identical swap partner
+        registry.publish(agent)          # v3: will be corrupted
+        from repro.rl.persistence import _fingerprint
+        registry.publish_table(          # v4: scrambled canary candidate
+            np.zeros_like(agent.learner.qtable.values) - 5.0,
+            _fingerprint(agent))
+
+        server = PolicyServer(registry)
+        server.activate(registry.load(1))
+        grid = np.arange(registry.load(1).num_states)
+        baseline = server.decide(grid)
+        print(f"  serving v{server.active_version}: "
+              f"{grid.size} states decided", file=sys.stderr)
+
+        report = server.swap(version=2)
+        if not report.activated:
+            failures.append(f"identical hot-swap refused: {report.reason}")
+        elif not np.array_equal(server.decide(grid), baseline):
+            failures.append("hot-swap of a bit-identical policy changed "
+                            "decisions — the golden promise broke")
+        else:
+            print(f"  hot-swap v1 -> v2 in {report.elapsed_s * 1e3:.1f} ms, "
+                  "bit-identical", file=sys.stderr)
+
+        blob = bytearray(registry.path_for(3).read_bytes())
+        blob[-7] ^= 0x20
+        registry.path_for(3).write_bytes(bytes(blob))
+        report = server.swap(version=3)
+        if report.activated:
+            failures.append("a corrupt candidate was activated")
+        elif not np.array_equal(server.decide(grid), baseline):
+            failures.append("a refused swap perturbed the incumbent")
+        else:
+            print("  corrupt v3 refused, incumbent untouched",
+                  file=sys.stderr)
+
+        server.begin_canary(version=4, canary_config=CanaryConfig(
+            fraction=0.25, min_samples=64, sigmas=2.0,
+            decision_budget=ROLLBACK_BUDGET, intervention_margin=0.02))
+        result = FleetSimulator(server, FleetConfig(
+            vehicles=512, steps=40, seed=2)).run()
+        if result.canary_verdict != "rollback":
+            failures.append(f"forced canary regression ended in "
+                            f"{result.canary_verdict!r}, not rollback")
+        elif result.rollback["decisions"] > ROLLBACK_BUDGET:
+            failures.append(
+                f"rollback took {result.rollback['decisions']} decisions, "
+                f"over the {ROLLBACK_BUDGET} budget")
+        elif server.active_version != 2:
+            failures.append(f"rollback left v{server.active_version} "
+                            "serving instead of the incumbent")
+        else:
+            print(f"  canary v4 rolled back after "
+                  f"{result.rollback['decisions']} decision(s) "
+                  f"({result.rollback['latency_s'] * 1e3:.1f} ms)",
+                  file=sys.stderr)
+
+    elapsed = time.monotonic() - start
+    if failures:
+        print("smoke_serve: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"smoke_serve: OK (train + serve + hot-swap + forced rollback "
+          f"in {elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 import numpy as np
 
 from repro.chaos.plan import ChaosFault
-from repro.chaos.shims import EnospcShim, SlowWriteShim
+from repro.chaos.shims import EnospcShim, SlowReadShim, SlowWriteShim
 from repro.control import build_rl_controller
 from repro.cycles import DriveCycle
 from repro.errors import (
@@ -51,6 +51,8 @@ from repro.rl.persistence import (
     save_checkpoint,
     save_policy,
 )
+from repro.serve import PolicyRegistry, PolicyServer
+from repro.serve.artifact import _aligned
 from repro.sim import Simulator, train
 from repro.telemetry.events import EventSink, read_events
 from repro.vehicle import default_vehicle
@@ -628,4 +630,110 @@ def _exp_checkpoint_enospc(fault: ChaosFault,
         kind=fault.kind, detected=True, recovered=True, resumable=True,
         detail="checkpoint_enospc: failed save surfaced as "
                "PersistenceError; previous checkpoint intact and loaded",
+        recovery_seconds=elapsed)
+
+
+# -- serving faults -----------------------------------------------------------
+
+def _published_server(workdir: Path, agent_seed: int):
+    """A registry with two published versions, a server holding v1.
+
+    Returns ``(registry, server, candidate_version)`` where the
+    candidate (v2) is a deliberately different policy so a completed
+    swap would visibly change decisions — the experiments then prove it
+    never completes.
+    """
+    _, agent = _built_agent(agent_seed)
+    registry = PolicyRegistry(workdir / "registry")
+    incumbent = registry.load(registry.publish(agent))
+    agent.learner.qtable.values[:] += 0.25
+    candidate = registry.publish(agent)
+    server = PolicyServer(registry)
+    server.activate(incumbent)
+    return registry, server, candidate
+
+
+@_experiment("serve_swap_corrupt_candidate", resumable=True)
+def _exp_serve_corrupt_candidate(fault: ChaosFault,
+                                 workdir: Path) -> ExperimentOutcome:
+    """A candidate artifact corrupted on disk after publication (bit rot
+    or a torn copy in the verify-to-activate window) must be refused at
+    swap time; the incumbent keeps serving bit-identical decisions."""
+    registry, server, candidate = _published_server(
+        workdir, int(fault.params["agent_seed"]))
+    probe = np.arange(min(96, server.active_artifact.num_states))
+    before = server.decide(probe)
+    path = registry.path_for(candidate)
+    blob = bytearray(path.read_bytes())
+    header_len = int.from_bytes(blob[4:8], "little")
+    table_offset = _aligned(8 + header_len)
+    span = len(blob) - table_offset
+    mode = str(fault.params["mode"])
+    if mode == "bitflip":
+        index = table_offset + min(
+            int(float(fault.params["offset_fraction"]) * span), span - 1)
+        blob[index] ^= 1 << int(fault.params["bit"])
+        path.write_bytes(bytes(blob))
+        injected = (f"bit {fault.params['bit']} flipped at table byte "
+                    f"{index - table_offset}")
+    else:
+        keep = table_offset + int(float(fault.params["keep_fraction"]) * span)
+        path.write_bytes(bytes(blob[:keep]))
+        injected = f"table truncated to {keep}/{len(blob)} bytes"
+    start = time.monotonic()
+    report = server.swap(version=candidate)
+    after = server.decide(probe)
+    elapsed = time.monotonic() - start
+    _require(not report.activated and server.refused_swaps == 1,
+             f"a corrupt candidate ({injected}) was not refused at swap "
+             f"time: {report}")
+    _require(server.active_version == 1,
+             f"swap of a corrupt candidate moved the active version to "
+             f"{server.active_version} — the pointer flip was not atomic")
+    _require(np.array_equal(before, after),
+             "incumbent decisions changed after a refused swap — serving "
+             "was not isolated from the corrupt candidate")
+    return ExperimentOutcome(
+        kind=fault.kind, detected=True, recovered=True, resumable=True,
+        detail=f"serve_swap_corrupt_candidate[{mode}]: {injected}; swap "
+               f"refused, incumbent decisions bit-identical",
+        recovery_seconds=elapsed)
+
+
+@_experiment("serve_slow_artifact_load", resumable=True)
+def _exp_serve_slow_load(fault: ChaosFault,
+                         workdir: Path) -> ExperimentOutcome:
+    """Pathologically slow artifact reads must trip the staging deadline:
+    the swap is shed cleanly (no indefinite stall) and the incumbent
+    keeps serving bit-identically."""
+    registry, server, candidate = _published_server(
+        workdir, int(fault.params["agent_seed"]))
+    probe = np.arange(min(96, server.active_artifact.num_states))
+    before = server.decide(probe)
+    delay = float(fault.params["delay_s"])
+    deadline = float(fault.params["deadline_s"])
+    shim = SlowReadShim(delay, match=".rpa")
+    start = time.monotonic()
+    with shimmed(shim):
+        report = server.swap(version=candidate, deadline_s=deadline)
+    stalled = time.monotonic() - start
+    _require(shim.intercepted >= 1,
+             "the slow-read shim never intercepted an artifact read — "
+             "the experiment is vacuous")
+    _require(not report.activated and server.stage_sheds == 1,
+             f"a swap that blew its {deadline:g}s staging deadline was "
+             f"not shed: {report}")
+    _require("deadline" in report.reason,
+             f"shed swap did not name the deadline: {report.reason!r}")
+    recover_start = time.monotonic()
+    after = server.decide(probe)
+    elapsed = time.monotonic() - recover_start
+    _require(server.active_version == 1 and np.array_equal(before, after),
+             "serving degraded after a deadline-shed swap — the incumbent "
+             "should have been untouched")
+    return ExperimentOutcome(
+        kind=fault.kind, detected=True, recovered=True, resumable=True,
+        detail=f"serve_slow_artifact_load: reads stalled {delay * 1e3:g}ms "
+               f"each ({stalled:.3f}s total), staging shed at "
+               f"{deadline * 1e3:g}ms deadline; serving bit-identical",
         recovery_seconds=elapsed)

@@ -40,6 +40,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     "policy_sidecar_truncated",
     "checkpoint_corrupt_resume",
     "checkpoint_enospc",
+    "serve_swap_corrupt_candidate",
+    "serve_slow_artifact_load",
 )
 """Every fault kind the harness can inject (see repro.chaos.experiments)."""
 
@@ -94,6 +96,16 @@ def _sample_params(kind: str, rng: np.random.Generator) -> Dict[str, Any]:
                 "train_seed": int(rng.integers(0, 1000))}
     if kind == "checkpoint_enospc":
         return {"partial_fraction": round(float(rng.uniform(0.0, 0.9)), 3),
+                "agent_seed": int(rng.integers(1, 1000))}
+    if kind == "serve_swap_corrupt_candidate":
+        return {"mode": str(rng.choice(["bitflip", "truncate"])),
+                "offset_fraction": round(float(rng.uniform(0.05, 0.95)), 4),
+                "bit": int(rng.integers(0, 8)),
+                "keep_fraction": round(float(rng.uniform(0.1, 0.9)), 3),
+                "agent_seed": int(rng.integers(1, 1000))}
+    if kind == "serve_slow_artifact_load":
+        return {"delay_s": round(float(rng.uniform(0.05, 0.15)), 4),
+                "deadline_s": round(float(rng.uniform(0.005, 0.02)), 4),
                 "agent_seed": int(rng.integers(1, 1000))}
     raise ChaosError(f"unknown fault kind {kind!r}; "
                      f"known kinds: {', '.join(FAULT_KINDS)}")

@@ -35,7 +35,7 @@ class TargetedShim(FilesystemShim):
     def __init__(self, match: Optional[str] = None):
         self.match = match
         self.intercepted = 0
-        """Targeted operations seen so far (writes only)."""
+        """Targeted operations seen so far."""
 
     def targets(self, path: Optional[Path]) -> bool:
         """True when ``path`` is under this shim's fault schedule."""
@@ -97,6 +97,31 @@ class EnospcShim(TargetedShim):
         if self.tripped and self.targets(path):
             raise self._enospc()
         default()
+
+
+class SlowReadShim(TargetedShim):
+    """Pathological read latency: every targeted read stalls ``delay_s``.
+
+    The bytes come back intact — this is the load-side twin of
+    :class:`SlowWriteShim`, modelling a policy registry on a throttled
+    or flaky volume.  The serving layer's staging deadline is what turns
+    this from a stall into a clean, bounded refusal.
+    """
+
+    def __init__(self, delay_s: float, match: Optional[str] = None):
+        super().__init__(match)
+        if not delay_s >= 0:
+            raise ChaosError(f"delay_s must be >= 0, got {delay_s!r}")
+        self.delay_s = float(delay_s)
+
+    def read(self, path: Optional[Path], size: Optional[int],
+             default: Callable[[], bytes]) -> bytes:
+        """Stall ``delay_s`` then return the bytes intact."""
+        if not self.targets(path):
+            return default()
+        self.intercepted += 1
+        time.sleep(self.delay_s)
+        return default()
 
 
 class SlowWriteShim(TargetedShim):

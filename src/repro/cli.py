@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the everyday workflows:
+Ten subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
@@ -27,6 +27,11 @@ Nine subcommands cover the everyday workflows:
   against the repo's own executor/manifest/persistence/telemetry layers
   and report detection and recovery rates (see ``docs/ROBUSTNESS.md``).
   Exits 1 if any documented recovery invariant broke.
+* ``serve``    — publish a policy to a versioned registry (training a
+  quick one if the registry is empty) and drive a heterogeneous vehicle
+  fleet against the policy server: optional ``--swap`` hot-swap,
+  ``--canary`` rollout with automatic rollback, and ``--shards``
+  fork-isolated scale-out (see ``docs/SERVING.md``).
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
 (:class:`repro.errors.ReproError`) — including executor and manifest
@@ -261,6 +266,45 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run experiments under this directory and "
                               "keep the artifacts (default: a temporary "
                               "directory, removed afterwards)")
+
+    p_serve = sub.add_parser(
+        "serve", help="drive a vehicle fleet against the policy server")
+    p_serve.add_argument("--registry", required=True, metavar="DIR",
+                         help="policy-registry directory (created, and "
+                              "seeded with a quickly trained policy, when "
+                              "empty)")
+    p_serve.add_argument("--cycle", default="NYCC",
+                         help="training cycle when seeding an empty "
+                              "registry (default NYCC)")
+    p_serve.add_argument("--train-episodes", type=int, default=5,
+                         help="training budget when seeding an empty "
+                              "registry (default 5)")
+    p_serve.add_argument("--vehicles", type=int, default=2048,
+                         help="fleet population size (default 2048)")
+    p_serve.add_argument("--steps", type=int, default=60,
+                         help="simulated seconds per vehicle (default 60)")
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument("--swap", type=int, metavar="VERSION",
+                         help="hot-swap to this registry version before "
+                              "the fleet run (refused cleanly on any "
+                              "defect; the incumbent keeps serving)")
+    p_serve.add_argument("--canary", type=int, metavar="VERSION",
+                         help="run this version as a canary rollout; a "
+                              "regressed candidate is rolled back "
+                              "automatically during the fleet run")
+    p_serve.add_argument("--canary-fraction", type=float, default=0.1,
+                         help="fleet fraction routed to the canary "
+                              "(default 0.1)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="split the fleet across this many "
+                              "fork-isolated workers (each with its own "
+                              "server over the shared registry)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for --shards (default: "
+                              "one per shard, capped by the executor)")
+    p_serve.add_argument("--telemetry", metavar="PATH",
+                         help="stream structured events/spans/metrics to "
+                              "this JSONL file (must not already exist)")
     return parser
 
 
@@ -502,6 +546,97 @@ def _cmd_chaos(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        CanaryConfig,
+        FleetConfig,
+        FleetSimulator,
+        PolicyRegistry,
+        PolicyServer,
+        run_fleet_sharded,
+    )
+
+    registry = PolicyRegistry(args.registry)
+    if not registry.versions():
+        if args.train_episodes < 1:
+            raise ConfigurationError(
+                f"registry {args.registry} is empty and --train-episodes "
+                "is 0; publish a policy first or allow seeding")
+        solver = PowertrainSolver(default_vehicle())
+        controller = build_rl_controller(solver, seed=args.seed)
+        cycle = standard_cycle(args.cycle)
+        _LOG.info("registry %s is empty; training %d episode(s) on %s",
+                  args.registry, args.train_episodes, cycle)
+        train(Simulator(solver), controller, cycle,
+              episodes=args.train_episodes, evaluate_after=False)
+        version = registry.publish(controller.agent)
+        _LOG.info("published trained policy as v%d", version)
+
+    config = FleetConfig(vehicles=args.vehicles, steps=args.steps,
+                         seed=args.seed)
+    if args.shards > 1:
+        aggregate = run_fleet_sharded(registry.root, config,
+                                      shards=args.shards, jobs=args.jobs)
+        print(f"fleet: {aggregate['vehicles']} vehicles across "
+              f"{aggregate['shards']} shard(s), "
+              f"{aggregate['failures']} failure(s)")
+        print(f"  decisions      {aggregate['decisions']:12d} "
+              f"({aggregate['decisions_per_sec']:,.0f}/s)")
+        print(f"  vehicles/min   {aggregate['vehicles_per_min']:12,.0f}")
+        print(f"  shed requests  {aggregate['shed_requests']:12d}")
+        print(f"  limp decisions {aggregate['limp_decisions']:12d}")
+        print(f"  interventions  {aggregate['interventions']:12d}")
+        print(f"  mean reward    {aggregate['mean_reward']:12.4f}")
+        return 0
+
+    with _telemetry_session(args.telemetry) as telemetry:
+        server = PolicyServer(registry, telemetry=telemetry)
+        active = server.activate_latest()
+        if server.degraded:
+            print("no loadable policy in the registry; serving the "
+                  "rule-based fallback action "
+                  f"({server.degraded_loads} corrupt version(s) skipped)")
+        else:
+            skipped = (f" ({server.degraded_loads} corrupt version(s) "
+                       "skipped)" if server.degraded_loads else "")
+            print(f"serving v{active}{skipped}")
+        if args.swap is not None:
+            rep = server.swap(version=args.swap)
+            status = ("activated" if rep.activated
+                      else f"refused: {rep.reason}")
+            print(f"hot-swap v{rep.from_version} -> v{rep.to_version}: "
+                  f"{status} [{rep.elapsed_s * 1e3:.1f} ms, probe "
+                  f"disagreement {rep.probe_disagreement:.1%}]")
+        if args.canary is not None:
+            server.begin_canary(version=args.canary,
+                                canary_config=CanaryConfig(
+                                    fraction=args.canary_fraction))
+            print(f"canary: v{args.canary} on "
+                  f"{args.canary_fraction:.0%} of the fleet")
+        result = FleetSimulator(server, config).run()
+        print(f"fleet: {result.vehicles} vehicles x {result.steps} steps "
+              f"in {result.elapsed_s:.2f}s")
+        print(f"  decisions      {result.decisions:12d} "
+              f"({result.decisions_per_sec:,.0f}/s)")
+        print(f"  vehicles/min   {result.vehicles_per_min:12,.0f}")
+        print(f"  shed requests  {result.shed_requests:12d}")
+        print(f"  limp decisions {result.limp_decisions:12d}")
+        print(f"  interventions  {result.interventions:12d}")
+        print(f"  mean reward    {result.mean_reward:12.4f}")
+        if result.canary_verdict is not None:
+            print(f"  canary verdict: {result.canary_verdict}")
+            if result.rollback is not None:
+                print(f"    rolled back v{result.rollback['version']} "
+                      f"after {result.rollback['decisions']} decision(s) "
+                      f"({result.rollback['latency_s'] * 1e3:.1f} ms): "
+                      f"{result.rollback['reason']}")
+        elif args.canary is not None:
+            rollout = server.canary
+            print(f"  canary undecided after "
+                  f"{rollout.canary_decisions} canary decision(s)")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     scenarios = builtin_scenarios()
     print(f"{'name':15s} {'faults':>6s}  description")
@@ -535,6 +670,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "guard-report": _cmd_guard_report,
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

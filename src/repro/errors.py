@@ -93,6 +93,17 @@ class PersistenceError(CheckpointError):
     on-disk corruption as opposed to configuration mismatches."""
 
 
+class ServeError(ReproError, ValueError):
+    """The policy service is misconfigured or asked for something it does
+    not have (unknown registry version, a canary fraction outside (0, 1],
+    serving before any policy was activated).
+
+    Artifact *corruption* never raises this — a corrupt or truncated
+    policy artifact surfaces as :class:`PersistenceError`, exactly like
+    the training-side persistence layer, and the server degrades instead
+    of crashing (see ``docs/SERVING.md``)."""
+
+
 class TelemetryError(ReproError, ValueError):
     """The telemetry layer cannot record or read observability data (an
     event violating the declared schema, a corrupt event file, a metric

@@ -65,6 +65,16 @@ class FilesystemShim:
         """One atomic rename of ``src`` over ``dst``."""
         default()
 
+    def read(self, path: Optional[Path], size: Optional[int],
+             default: Callable[[], bytes]) -> bytes:
+        """One logical read of up to ``size`` bytes from ``path``.
+
+        ``size=None`` reads the whole file.  Added for the serving
+        layer's artifact loads; a shim may delay before calling
+        ``default`` (slow storage) or raise ``OSError`` (failed read).
+        """
+        return default()
+
 
 _SHIM: Optional[FilesystemShim] = None
 
@@ -148,6 +158,21 @@ def replace(src: PathLike, dst: PathLike) -> None:
         os.replace(src, dst)
         return
     _SHIM.replace(Path(src), Path(dst), lambda: os.replace(src, dst))
+
+
+def read_bytes(path: PathLike, size: Optional[int] = None) -> bytes:
+    """Read up to ``size`` bytes of ``path`` (all when ``None``).
+
+    The serving layer's artifact loads go through here so the chaos
+    harness can inject slow or failing storage on the *read* side; with
+    no shim installed this is a plain open-and-read.
+    """
+    def _read() -> bytes:
+        with open(path, "rb") as fh:
+            return fh.read() if size is None else fh.read(size)
+    if _SHIM is None:
+        return _read()
+    return _SHIM.read(_as_path(path), size, _read)
 
 
 def fsync_directory(directory: PathLike) -> None:

@@ -1,0 +1,404 @@
+"""Fleet load generator: heterogeneous vehicles driving a policy server.
+
+A :class:`FleetSimulator` runs a population of lightweight vehicles —
+heterogeneous across drive cycle, phase offset, auxiliary load, initial
+state of charge, and fault scenario (noisy SoC sensing) — against a
+:class:`repro.serve.PolicyServer`.  Each simulated second the whole
+population is discretised in one vectorized pass
+(:meth:`repro.rl.discretize.StateDiscretizer.state_of_batch`), batched
+into decision requests through the server's bounded queue, and stepped
+with a simplified battery model (Coulomb counting, the same sign
+convention as :mod:`repro.vehicle.battery`, plus an auxiliary drain).
+
+This is deliberately *not* the full powertrain simulator: a vehicle here
+costs nanoseconds, which is what lets tens of thousands of them hammer
+the server hard enough to measure decisions/sec, decision-latency
+percentiles, and load shedding.  Fidelity lives in two places that
+matter for the robustness story:
+
+* **Reward proxy** — every decision is scored by the *run-start
+  incumbent's* Q-value for the (state, action) pair, an off-policy
+  evaluation under the incumbent's own value function.  A regressed
+  canary candidate picks actions the incumbent values less, which is
+  exactly the signal :class:`repro.serve.canary.CanaryRollout` needs.
+* **Safety envelope** — vehicles at the SoC window edge clamp
+  discharging/charging actions to the zero-current level and count an
+  intervention, mirroring the safety supervisor's feasibility envelope;
+  shed requests degrade the affected vehicles to the same rule-based
+  zero-current action (the LIMP_HOME analogue) and are counted as limp
+  decisions.
+
+Runs are deterministic for a given ``(config, server state)`` and
+bit-identical with telemetry attached or not (golden-tested).  For
+wall-clock scale beyond one process, :func:`run_fleet_sharded` splits
+the population across fork-isolated workers through
+:class:`repro.exec.Supervisor`, one server per worker over a shared
+registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cycles import standard_cycle
+from repro.errors import ServeError
+from repro.rl.discretize import StateDiscretizer
+from repro.serve.registry import PolicyRegistry
+from repro.serve.server import PolicyServer
+from repro.vehicle import default_vehicle
+from repro.vehicle.dynamics import VehicleDynamics
+
+_BUS_VOLTAGE = 200.0
+"""Nominal bus voltage used to convert auxiliary watts into amps."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet load-generation run."""
+
+    vehicles: int = 1024
+    """Population size."""
+
+    steps: int = 120
+    """Simulated seconds each vehicle drives."""
+
+    dt: float = 1.0
+    """Simulation step, seconds."""
+
+    cycles: Tuple[str, ...] = ("UDDS", "NYCC", "SC03")
+    """Built-in drive cycles vehicles are assigned across."""
+
+    aux_loads: Tuple[float, ...] = (250.0, 500.0, 1000.0)
+    """Auxiliary electrical loads (W) vehicles are assigned across."""
+
+    fault_fraction: float = 0.1
+    """Fraction of vehicles with a noisy SoC sensor (fault scenario)."""
+
+    sensor_noise: float = 0.02
+    """Std-dev of the faulty vehicles' SoC observation noise."""
+
+    request_batch: int = 256
+    """Vehicles per decision request (smaller = more queue pressure)."""
+
+    deadline_s: Optional[float] = None
+    """Per-request decision deadline handed to the server (None = none)."""
+
+    seed: int = 0
+    """Seed of population assignment and sensor noise."""
+
+    def __post_init__(self):
+        if self.vehicles < 1:
+            raise ServeError("a fleet needs at least one vehicle")
+        if self.steps < 1:
+            raise ServeError("a fleet run needs at least one step")
+        if self.dt <= 0:
+            raise ServeError("dt must be positive")
+        if not self.cycles:
+            raise ServeError("a fleet needs at least one drive cycle")
+        if not self.aux_loads:
+            raise ServeError("a fleet needs at least one auxiliary load")
+        if not 0.0 <= self.fault_fraction <= 1.0:
+            raise ServeError("fault_fraction must lie in [0, 1]")
+        if self.request_batch < 1:
+            raise ServeError("request_batch must be at least 1")
+
+
+@dataclass
+class FleetResult:
+    """Aggregates of one fleet run against a policy server."""
+
+    vehicles: int
+    """Population size driven."""
+
+    steps: int
+    """Simulated seconds per vehicle."""
+
+    decisions: int
+    """Decisions the fleet consumed (served, not shed)."""
+
+    shed_requests: int
+    """Decision requests shed by the server's bounded queue."""
+
+    limp_decisions: int
+    """Vehicle-steps degraded to the local rule-based action because
+    their request was shed (the fleet-side LIMP_HOME analogue)."""
+
+    interventions: int
+    """SoC-window envelope clamps applied across the run."""
+
+    mean_reward: float
+    """Mean decision reward under the run-start incumbent's Q-values."""
+
+    elapsed_s: float
+    """Wall-clock of the run."""
+
+    decisions_per_sec: float
+    """Served decisions per wall-clock second."""
+
+    vehicles_per_min: float
+    """Full vehicle-drives completed per wall-clock minute."""
+
+    request_latencies_s: np.ndarray
+    """Per-request submit-to-answer latencies (served requests only)."""
+
+    canary_verdict: Optional[str] = None
+    """``"rollback"``/``"promote"`` if a canary resolved during the run."""
+
+    rollback: Optional[dict] = None
+    """The server's :attr:`~repro.serve.PolicyServer.last_rollback`
+    record when the run ended in a rollback."""
+
+    actions: Optional[np.ndarray] = None
+    """``(steps, vehicles)`` action trace when recorded (golden tests)."""
+
+    final_soc: Optional[np.ndarray] = None
+    """Per-vehicle final state of charge when the trace was recorded."""
+
+
+class FleetSimulator:
+    """Drives a heterogeneous vehicle population against a server."""
+
+    def __init__(self, server: PolicyServer,
+                 config: Optional[FleetConfig] = None,
+                 record_trace: bool = False):
+        self._server = server
+        self._config = config or FleetConfig()
+        self._record = record_trace
+        params = default_vehicle()
+        self._dynamics = VehicleDynamics(params.body)
+        battery = params.battery
+        self._capacity = float(battery.capacity)
+        self._soc_min = float(battery.soc_min)
+        self._soc_max = float(battery.soc_max)
+        self._discretizer = StateDiscretizer(soc_min=self._soc_min,
+                                             soc_max=self._soc_max)
+        fingerprint = self._fingerprint()
+        if fingerprint.get("num_states") not in (
+                None, self._discretizer.num_states):
+            raise ServeError(
+                f"served policy covers {fingerprint['num_states']} states "
+                f"but the fleet discretiser produces "
+                f"{self._discretizer.num_states}; the policy was trained "
+                "under a non-default discretisation")
+        levels = fingerprint.get("current_levels")
+        if not levels:
+            raise ServeError(
+                "the server has no known policy fingerprint; activate a "
+                "policy before running the fleet against it")
+        self._levels = np.asarray(levels, dtype=float)
+        self._zero_action = int(np.argmin(np.abs(self._levels)))
+
+    def _fingerprint(self) -> dict:
+        artifact = self._server.active_artifact
+        if artifact is not None:
+            return artifact.fingerprint
+        fingerprint = getattr(self._server, "_last_fingerprint", None)
+        return fingerprint or {}
+
+    def run(self, steps: Optional[int] = None) -> FleetResult:
+        """Drive the configured population; returns the aggregates."""
+        cfg = self._config
+        steps = cfg.steps if steps is None else int(steps)
+        rng = np.random.default_rng(cfg.seed)
+        n = cfg.vehicles
+
+        # Heterogeneous population: cycle x phase x aux x fault x SoC.
+        speeds_per_cycle = [standard_cycle(name).speeds
+                            for name in cfg.cycles]
+        lengths = np.array([len(s) for s in speeds_per_cycle])
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        flat_speeds = np.concatenate(speeds_per_cycle)
+        cycle_idx = rng.integers(0, len(cfg.cycles), size=n)
+        phase = rng.integers(0, lengths[cycle_idx])
+        aux = rng.choice(np.asarray(cfg.aux_loads, dtype=float), size=n)
+        faulty = rng.random(n) < cfg.fault_fraction
+        soc = rng.uniform(self._soc_min, self._soc_max, size=n)
+        noise_rng = np.random.default_rng(cfg.seed + 0x5EED)
+        vehicle_ids = np.arange(n, dtype=np.uint64)
+
+        server = self._server
+        reference = None
+        if server.active_artifact is not None:
+            reference = np.array(server.active_artifact.table)
+        rollout = server.canary
+        canary_mask = (rollout.assign_mask(vehicle_ids)
+                       if rollout is not None else np.zeros(n, dtype=bool))
+
+        reward_sum = 0.0
+        reward_count = 0
+        served_total = 0
+        interventions = 0
+        limp = 0
+        shed_before = server.shed_count
+        latencies: List[float] = []
+        verdict: Optional[str] = None
+        trace = (np.zeros((steps, n), dtype=np.intp)
+                 if self._record else None)
+
+        start = time.perf_counter()
+        for t in range(steps):
+            pos = (phase + t) % lengths[cycle_idx]
+            nxt = (pos + 1) % lengths[cycle_idx]
+            speed = flat_speeds[offsets[cycle_idx] + pos]
+            accel = (flat_speeds[offsets[cycle_idx] + nxt] - speed) / cfg.dt
+            p_dem = np.asarray(self._dynamics.power_demand(speed, accel),
+                               dtype=float)
+            # Faulty vehicles observe a noisy SoC; the draw happens for
+            # the whole population every step so the stream is identical
+            # whatever the fault assignment or telemetry state.
+            noise = noise_rng.normal(0.0, cfg.sensor_noise, size=n)
+            obs_soc = np.clip(np.where(faulty, soc + noise, soc), 0.0, 1.0)
+            states = self._discretizer.state_of_batch(p_dem, speed, obs_soc)
+
+            actions = np.full(n, self._zero_action, dtype=np.intp)
+            served = np.zeros(n, dtype=bool)
+
+            # Submit the whole tick's requests before pumping once, so
+            # the bounded queue sees real depth and deadline pressure.
+            incumbent_idx = np.flatnonzero(~canary_mask)
+            pending = {}
+            for lo in range(0, len(incumbent_idx), cfg.request_batch):
+                chunk = incumbent_idx[lo:lo + cfg.request_batch]
+                key = f"{t}:{lo}"
+                if not server.submit(states[chunk],
+                                     deadline_s=cfg.deadline_s, key=key):
+                    limp += len(chunk)
+                    continue
+                pending[key] = chunk
+            for outcome in server.pump():
+                chunk = pending[outcome.key]
+                if outcome.shed:
+                    limp += len(chunk)
+                    continue
+                actions[chunk] = outcome.actions
+                served[chunk] = True
+                latencies.append(outcome.latency_s)
+
+            canary_idx = np.flatnonzero(canary_mask)
+            if len(canary_idx) and server.canary is not None:
+                actions[canary_idx] = server.canary_decide(states[canary_idx])
+                served[canary_idx] = True
+
+            # Safety envelope at the SoC window edges: clamp to the
+            # zero-current level and count the intervention.
+            current = self._levels[actions]
+            clamp = ((soc <= self._soc_min) & (current > 0)) \
+                | ((soc >= self._soc_max) & (current < 0))
+            interventions += int(np.sum(clamp & served))
+            served_total += int(served.sum())
+            actions = np.where(clamp, self._zero_action, actions)
+            current = self._levels[actions]
+
+            if reference is not None:
+                rewards = reference[states, actions]
+                reward_sum += float(rewards[served].sum())
+                reward_count += int(served.sum())
+                if server.canary is not None:
+                    inc = served & ~canary_mask
+                    can = served & canary_mask
+                    if np.any(inc):
+                        server.observe(False, rewards[inc],
+                                       int(np.sum(clamp & inc)))
+                    if np.any(can) and server.canary is not None:
+                        verdict = server.observe(
+                            True, rewards[can], int(np.sum(clamp & can)))
+                        if verdict is not None:
+                            canary_mask = np.zeros(n, dtype=bool)
+
+            soc = np.clip(
+                soc - (current + aux / _BUS_VOLTAGE) * cfg.dt
+                / self._capacity,
+                0.0, 1.0)
+            if trace is not None:
+                trace[t] = actions
+        elapsed = max(time.perf_counter() - start, 1e-9)
+
+        decisions = served_total
+        return FleetResult(
+            vehicles=n, steps=steps, decisions=decisions,
+            shed_requests=server.shed_count - shed_before,
+            limp_decisions=limp, interventions=interventions,
+            mean_reward=(reward_sum / reward_count if reward_count else 0.0),
+            elapsed_s=elapsed,
+            decisions_per_sec=decisions / elapsed,
+            vehicles_per_min=n * 60.0 / elapsed,
+            request_latencies_s=np.asarray(latencies, dtype=float),
+            canary_verdict=verdict,
+            rollback=(dict(server.last_rollback)
+                      if verdict == "rollback" and server.last_rollback
+                      else None),
+            actions=trace,
+            final_soc=soc.copy() if self._record else None)
+
+
+def run_fleet_sharded(registry_root, config: FleetConfig, shards: int,
+                      jobs: Optional[int] = None,
+                      timeout: Optional[float] = None) -> dict:
+    """Split a fleet across fork-isolated workers, one server per shard.
+
+    Every worker opens its own :class:`PolicyServer` over the shared
+    registry (``activate_latest`` walks the same degradation ladder),
+    drives ``vehicles // shards`` of the population, and reports its
+    aggregates; the supervisor's quarantine semantics apply, so one
+    crashed shard is a recorded failure, not a lost campaign.  Returns
+    the fleet-wide aggregate dict (decisions, decisions/sec summed
+    across concurrently running shards, vehicles/min, shed counts).
+    """
+    from repro.exec import Supervisor, Task
+
+    if shards < 1:
+        raise ServeError("need at least one shard")
+    if shards > config.vehicles:
+        raise ServeError(
+            f"cannot split {config.vehicles} vehicles into {shards} shards")
+    base = config.vehicles // shards
+    counts = [base + (1 if i < config.vehicles % shards else 0)
+              for i in range(shards)]
+
+    def _shard(index: int, count: int) -> dict:
+        registry = PolicyRegistry(registry_root)
+        server = PolicyServer(registry)
+        server.activate_latest()
+        shard_cfg = replace(config, vehicles=count,
+                            seed=config.seed + 7919 * (index + 1))
+        result = FleetSimulator(server, shard_cfg).run()
+        return {"decisions": result.decisions,
+                "shed_requests": result.shed_requests,
+                "limp_decisions": result.limp_decisions,
+                "interventions": result.interventions,
+                "mean_reward": result.mean_reward,
+                "elapsed_s": result.elapsed_s,
+                "active_version": server.active_version}
+
+    tasks = [Task(key=f"shard-{i}", fn=(lambda i=i, c=c: _shard(i, c)),
+                  spec={"shard": i, "vehicles": c})
+             for i, c in enumerate(counts)]
+    supervisor = Supervisor(jobs=jobs or 1, timeout=timeout)
+    sweep = supervisor.run(tasks)
+    results = [sweep.results[task.key] for task in tasks
+               if task.key in sweep.results]
+    if not results:
+        raise ServeError("every fleet shard failed; nothing to aggregate")
+    total_decisions = sum(r["decisions"] for r in results)
+    wall = max(r["elapsed_s"] for r in results)
+    total_vehicles = sum(c for t, c in zip(tasks, counts)
+                         if t.key in sweep.results)
+    weighted = sum(r["mean_reward"] * r["decisions"] for r in results)
+    return {
+        "shards": len(results),
+        "vehicles": total_vehicles,
+        "decisions": total_decisions,
+        "shed_requests": sum(r["shed_requests"] for r in results),
+        "limp_decisions": sum(r["limp_decisions"] for r in results),
+        "interventions": sum(r["interventions"] for r in results),
+        "mean_reward": (weighted / total_decisions if total_decisions
+                        else 0.0),
+        "elapsed_s": wall,
+        "decisions_per_sec": total_decisions / wall,
+        "vehicles_per_min": total_vehicles * 60.0 / wall,
+        "failures": len(sweep.failures),
+    }

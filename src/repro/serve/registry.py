@@ -1,0 +1,106 @@
+"""Versioned on-disk registry of compiled policy artifacts.
+
+One registry is one directory; one artifact is one file named
+``policy-v%06d.rpa``.  Versions are monotonically increasing positive
+integers assigned at publish time: the next version is always
+``latest + 1``, publishes are atomic (a crash mid-publish never leaves a
+readable-but-bogus version), and a published artifact is never rewritten
+— a version is an immutable fact a fleet can pin, cache, and roll back
+to.  The version is also recorded inside the artifact header, and
+:meth:`PolicyRegistry.load` cross-checks it against the filename so a
+renamed or shuffled file cannot impersonate another version.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import PersistenceError, ServeError
+from repro.rl.agent import JointControlAgent
+from repro.rl.persistence import _fingerprint
+from repro.serve.artifact import PolicyArtifact, compile_table
+
+_ARTIFACT_RE = re.compile(r"^policy-v(\d{6})\.rpa$")
+
+
+class PolicyRegistry:
+    """A directory of policy artifacts under monotonic versions."""
+
+    def __init__(self, root: Union[str, Path]):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The directory artifacts live in."""
+        return self._root
+
+    def versions(self) -> List[int]:
+        """All published versions, ascending."""
+        found = []
+        for entry in self._root.iterdir():
+            match = _ARTIFACT_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self) -> Optional[int]:
+        """The newest published version, or ``None`` in an empty registry."""
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def path_for(self, version: int) -> Path:
+        """The artifact path a version lives at (whether or not it exists)."""
+        if not isinstance(version, (int, np.integer)) or version < 1:
+            raise ServeError(
+                f"registry versions are positive integers, got {version!r}")
+        return self._root / f"policy-v{int(version):06d}.rpa"
+
+    def publish(self, agent: JointControlAgent) -> int:
+        """Compile an agent's policy as the next version; returns it."""
+        return self.publish_table(agent.learner.qtable.values,
+                                  _fingerprint(agent))
+
+    def publish_table(self, table: np.ndarray, fingerprint: dict) -> int:
+        """Compile a raw Q-table as the next version; returns it.
+
+        The lower-level entry point the fleet tooling (and the tests'
+        forced-regression candidates) use to publish without an agent.
+        """
+        version = (self.latest_version() or 0) + 1
+        compile_table(table, fingerprint, self.path_for(version),
+                      version=version)
+        return version
+
+    def load(self, version: Optional[int] = None) -> PolicyArtifact:
+        """Load and verify one version (default: the latest).
+
+        Unknown versions raise :class:`repro.errors.ServeError`; a
+        present-but-corrupt artifact raises
+        :class:`repro.errors.PersistenceError`.  A header whose recorded
+        version disagrees with the filename is treated as corruption —
+        artifacts are immutable, so the two can only diverge through
+        tampering or bit rot.
+        """
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                raise ServeError(
+                    f"registry {self._root} is empty; publish a policy "
+                    "before serving")
+        path = self.path_for(version)
+        if not path.exists():
+            raise ServeError(
+                f"registry {self._root} has no version {version}; "
+                f"published versions: {self.versions() or 'none'}")
+        artifact = PolicyArtifact.load(path)
+        if artifact.version != int(version):
+            raise PersistenceError(
+                f"{path}: header records version {artifact.version} but the "
+                f"filename claims {version}; the artifact was renamed or "
+                "tampered with")
+        return artifact

@@ -76,6 +76,11 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "log": {"level": str, "logger": str, "message": str},
     # final metrics registry snapshot (emitted on Telemetry.close)
     "metrics_snapshot": {"metrics": dict},
+    # policy server: a candidate policy was activated (or refused)
+    "serve_swap": {"from_version": int, "to_version": int,
+                   "activated": str, "reason": str},
+    # policy server: a canary candidate was rolled back
+    "serve_rollback": {"version": int, "reason": str, "decisions": int},
 }
 """Required typed fields per event type (extra fields are allowed)."""
 
