@@ -16,8 +16,10 @@ Two duties:
    ``batched_decision_speedup``.  Speedup ratios are compared rather
    than absolute throughput so the gate holds on machines slower or
    faster than the one that produced the baseline; pass ``--absolute``
-   to also gate ``steps_per_sec_vectorized`` and the policy server's
-   ``decisions_per_sec`` when old and new runs share one machine.
+   to also gate the machine-dependent metrics when old and new runs
+   share one machine: higher-is-better ``steps_per_sec_vectorized``,
+   ``decisions_per_sec`` and ``experience_records_per_sec`` floors,
+   plus the lower-is-better ``regression_recovery_p99_ms`` ceiling.
    Metrics absent from the baseline are skipped, so one gate serves
    every ``BENCH_*.json`` pair.
 
@@ -37,8 +39,15 @@ from typing import Dict, List
 RATIO_METRICS = ("vectorized_speedup", "batched_decision_speedup")
 """Machine-independent higher-is-better metrics gated by ``--compare``."""
 
-ABSOLUTE_METRICS = ("steps_per_sec_vectorized", "decisions_per_sec")
-"""Machine-dependent metrics gated only with ``--absolute``."""
+ABSOLUTE_METRICS = ("steps_per_sec_vectorized", "decisions_per_sec",
+                    "experience_records_per_sec")
+"""Machine-dependent higher-is-better metrics gated only with
+``--absolute``."""
+
+CEILING_METRICS = ("regression_recovery_p99_ms",)
+"""Machine-dependent *lower-is-better* latency metrics gated only with
+``--absolute``: the fresh value may not exceed the baseline by more
+than the tolerance."""
 
 
 def validate(path: Path) -> List[str]:
@@ -102,6 +111,21 @@ def compare(new: Path, baseline: Path, tolerance: float,
             drop = 100.0 * (1.0 - fresh[name] / old[name])
             problems.append(
                 f"{new}: {name} regressed {drop:.1f}% "
+                f"({fresh[name]:.2f} vs baseline {old[name]:.2f}, "
+                f"tolerance {100 * tolerance:.0f}%)")
+    for name in (CEILING_METRICS if absolute else ()):
+        if name not in old:
+            continue
+        if name not in fresh:
+            problems.append(
+                f"{new}: metric {name!r} present in baseline {baseline} "
+                "but missing from the fresh run")
+            continue
+        ceiling = (1.0 + tolerance) * old[name]
+        if fresh[name] > ceiling:
+            rise = 100.0 * (fresh[name] / old[name] - 1.0)
+            problems.append(
+                f"{new}: {name} regressed {rise:.1f}% upward "
                 f"({fresh[name]:.2f} vs baseline {old[name]:.2f}, "
                 f"tolerance {100 * tolerance:.0f}%)")
     return problems

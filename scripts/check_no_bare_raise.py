@@ -24,6 +24,7 @@ API_BOUNDARY_MODULES = [
     "src/repro/fsio.py",
     "src/repro/chaos/*.py",
     "src/repro/exec/*.py",
+    "src/repro/learn/*.py",
     "src/repro/serve/*.py",
     "src/repro/faults/*.py",
     "src/repro/sim/*.py",

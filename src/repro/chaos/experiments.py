@@ -37,6 +37,7 @@ from repro.chaos.shims import EnospcShim, SlowReadShim, SlowWriteShim
 from repro.control import build_rl_controller
 from repro.cycles import DriveCycle
 from repro.errors import (
+    ExperienceError,
     InvariantViolation,
     ManifestError,
     PersistenceError,
@@ -44,14 +45,27 @@ from repro.errors import (
 from repro.exec import Supervisor, SweepManifest, Task
 from repro.exec.manifest import encode_payload
 from repro.fsio import shimmed
+from repro.learn import (
+    ExperienceRecord,
+    ExperienceStream,
+    OnlineLearner,
+    PromotionPipeline,
+    encode_record,
+)
 from repro.powertrain import PowertrainSolver
 from repro.rl.persistence import (
+    _fingerprint,
     load_checkpoint,
     load_policy,
     save_checkpoint,
     save_policy,
 )
-from repro.serve import PolicyRegistry, PolicyServer
+from repro.serve import (
+    CanaryConfig,
+    FleetConfig,
+    PolicyRegistry,
+    PolicyServer,
+)
 from repro.serve.artifact import _aligned
 from repro.sim import Simulator, train
 from repro.telemetry.events import EventSink, read_events
@@ -737,3 +751,165 @@ def _exp_serve_slow_load(fault: ChaosFault,
                f"each ({stalled:.3f}s total), staging shed at "
                f"{deadline * 1e3:g}ms deadline; serving bit-identical",
         recovery_seconds=elapsed)
+
+
+@_experiment("learn_journal_torn_batch", resumable=True)
+def _exp_learn_torn_batch(fault: ChaosFault,
+                          workdir: Path) -> ExperimentOutcome:
+    """A fleet writer killed mid-append tears the experience journal's
+    final line.  The reader must amputate it (idempotently — a second
+    read truncates nothing further), the content-hash cursor must make
+    a resumed learner re-read nothing twice, and a learner killed after
+    its checkpoint and resumed must reach the **bit-identical** table an
+    uninterrupted run over the same records produces."""
+    params = fault.params
+    _, agent = _built_agent(int(params["agent_seed"]))
+    table = np.asarray(agent.learner.qtable.values, dtype=np.float64)
+    fingerprint = _fingerprint(agent)
+    num_states, num_actions = table.shape
+    rng = np.random.default_rng(int(params["agent_seed"]))
+    n = int(params["n_records"])
+    break_after = int(params["break_after"])
+    records = [ExperienceRecord(
+        state=int(rng.integers(num_states)),
+        action=int(rng.integers(num_actions)),
+        reward=round(float(rng.normal()), 6),
+        next_state=int(rng.integers(num_states)),
+        policy_version=1, vehicle_id=i, step=0) for i in range(n)]
+
+    # The uninterrupted reference: every record, one ingest.
+    with ExperienceStream(workdir / "reference") as ref_stream:
+        for rec in records:
+            ref_stream.offer(rec)
+        ref_stream.flush()
+    reference = OnlineLearner(fingerprint, table)
+    reference.ingest(workdir / "reference")
+
+    # The faulted journal: a clean prefix, then a torn final line —
+    # the writer died inside the os.write of record break_after.
+    journal_dir = workdir / "journals"
+    with ExperienceStream(journal_dir) as stream:
+        for rec in records[:break_after]:
+            stream.offer(rec)
+        stream.flush()
+        torn = encode_record(records[break_after]).encode("utf-8")
+        cut = max(1, int(len(torn) * float(params["cut_fraction"])))
+        with open(stream.path, "ab") as fh:
+            fh.write(torn[:cut])
+
+    checkpoint = workdir / "learner-checkpoint.json"
+    learner = OnlineLearner(fingerprint, table, checkpoint_path=checkpoint)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = learner.ingest(journal_dir)
+    _require(any("amputating" in str(w.message) for w in caught),
+             "the torn final line was consumed without the documented "
+             "amputation warning")
+    _require(first.amputated_bytes == cut,
+             f"amputation removed {first.amputated_bytes} bytes, the torn "
+             f"fragment was {cut}")
+    _require(first.records == break_after and first.quarantined == 0,
+             f"the clean prefix held {break_after} records; ingest applied "
+             f"{first.records} with {first.quarantined} quarantined")
+    with warnings.catch_warnings():
+        # Amputation already happened physically; a second pass over the
+        # already-truncated journal must be silent and consume nothing.
+        warnings.simplefilter("error")
+        second = learner.ingest(journal_dir)
+    _require(second.records == 0 and second.amputated_bytes == 0,
+             f"a re-ingest under the cursor re-applied {second.records} "
+             f"record(s) / re-amputated {second.amputated_bytes} byte(s) — "
+             "exact resume is broken")
+
+    # The learner process "dies" here (we drop the object); the fleet
+    # writer recovers and appends the records the tear swallowed.
+    del learner
+    with ExperienceStream(journal_dir) as stream:
+        for rec in records[break_after:]:
+            stream.offer(rec)
+        stream.flush()
+    start = time.monotonic()
+    resumed = OnlineLearner.resume(checkpoint)
+    rest = resumed.ingest(journal_dir)
+    elapsed = time.monotonic() - start
+    _require(rest.records == n - break_after,
+             f"the resumed learner applied {rest.records} of the "
+             f"{n - break_after} post-crash records")
+    _require(resumed.records == n,
+             f"lifetime record count {resumed.records} != {n} after resume")
+    _require(np.array_equal(resumed.table, reference.table),
+             "kill-and-resume produced a table that differs from the "
+             "uninterrupted run — bit-identical resume is broken")
+
+    # And the cursor must detect a journal rewritten underneath it as a
+    # structured refusal, never as silent double-counting.
+    body = stream.path.read_bytes()
+    stream.path.write_bytes(body.replace(b'"v": 1', b'"v": 2', 1))
+    try:
+        resumed.ingest(journal_dir)
+    except ExperienceError:  # containment: the refusal IS the invariant
+        pass
+    else:
+        _require(False, "a journal rewritten under its cursor was "
+                        "re-ingested without a structured refusal")
+    return ExperimentOutcome(
+        kind=fault.kind, detected=True, recovered=True, resumable=True,
+        detail=f"learn_journal_torn_batch: {cut}-byte torn line amputated "
+               f"once, cursor resumed at record {break_after}/{n}, "
+               "resumed table bit-identical to the uninterrupted run",
+        recovery_seconds=elapsed)
+
+
+@_experiment("learn_regressed_candidate", resumable=True)
+def _exp_learn_regressed(fault: ChaosFault,
+                         workdir: Path) -> ExperimentOutcome:
+    """A clearly regressed candidate (the incumbent's table negated, so
+    its greedy policy picks the worst action everywhere) must be caught
+    by the canary cohort, rolled back automatically with the incumbent
+    bit-identical, and the regression-recovery latency recorded."""
+    params = fault.params
+    _, agent = _built_agent(int(params["agent_seed"]))
+    table = np.asarray(agent.learner.qtable.values, dtype=np.float64)
+    fingerprint = _fingerprint(agent)
+    registry = PolicyRegistry(workdir / "registry")
+    incumbent = registry.load(registry.publish_table(table, fingerprint))
+    poisoned = registry.publish_table(-table, fingerprint)
+    server = PolicyServer(registry)
+    server.activate(incumbent)
+    probe = np.arange(min(96, server.active_artifact.num_states))
+    before = server.decide(probe)
+
+    pipeline = PromotionPipeline(
+        server, registry,
+        fleet_config=FleetConfig(vehicles=192, steps=30,
+                                 seed=int(params["fleet_seed"])),
+        canary_config=CanaryConfig(fraction=float(params["fraction"]),
+                                   min_samples=48, sigmas=2.0,
+                                   decision_budget=4000,
+                                   intervention_margin=0.02),
+        max_rounds=6, round_steps=15)
+    report = pipeline.promote(poisoned)
+    _require(report.outcome == "rolled_back",
+             f"a negated-table candidate came out {report.outcome!r} "
+             f"({report.reason}); the canary should have rolled it back")
+    _require(report.incumbent_intact is True,
+             "the pipeline could not verify the incumbent bit-identical "
+             "after the rollback")
+    _require(report.recovery_s is not None and report.recovery_s >= 0.0,
+             "the rollback did not record a regression-recovery latency")
+    after = server.decide(probe)
+    _require(server.active_version == 1
+             and bool(np.array_equal(before, after)),
+             "serving changed across a canary rollback — the incumbent "
+             "should have been untouched")
+    _require(server.canary is None,
+             "the rolled-back canary rollout is still attached to the "
+             "server")
+    return ExperimentOutcome(
+        kind=fault.kind, detected=True, recovered=True, resumable=True,
+        detail=f"learn_regressed_candidate: canary caught v{poisoned} "
+               f"after {report.rounds} fleet round(s) "
+               f"({report.canary_decisions} canary decisions), rolled "
+               "back to a verified bit-identical incumbent "
+               f"in {report.recovery_s * 1e3:.1f}ms",
+        recovery_seconds=report.recovery_s)

@@ -42,6 +42,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     "checkpoint_enospc",
     "serve_swap_corrupt_candidate",
     "serve_slow_artifact_load",
+    "learn_journal_torn_batch",
+    "learn_regressed_candidate",
 )
 """Every fault kind the harness can inject (see repro.chaos.experiments)."""
 
@@ -107,6 +109,16 @@ def _sample_params(kind: str, rng: np.random.Generator) -> Dict[str, Any]:
         return {"delay_s": round(float(rng.uniform(0.05, 0.15)), 4),
                 "deadline_s": round(float(rng.uniform(0.005, 0.02)), 4),
                 "agent_seed": int(rng.integers(1, 1000))}
+    if kind == "learn_journal_torn_batch":
+        n = int(rng.integers(12, 24))
+        return {"n_records": n,
+                "break_after": int(rng.integers(3, n - 3)),
+                "cut_fraction": round(float(rng.uniform(0.1, 0.9)), 3),
+                "agent_seed": int(rng.integers(1, 1000))}
+    if kind == "learn_regressed_candidate":
+        return {"agent_seed": int(rng.integers(1, 1000)),
+                "fleet_seed": int(rng.integers(0, 1000)),
+                "fraction": round(float(rng.uniform(0.2, 0.35)), 3)}
     raise ChaosError(f"unknown fault kind {kind!r}; "
                      f"known kinds: {', '.join(FAULT_KINDS)}")
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the everyday workflows:
+Eleven subcommands cover the everyday workflows:
 
 * ``cycles``   — list the built-in drive cycles with their statistics, or
   export one to CSV.
@@ -32,6 +32,12 @@ Ten subcommands cover the everyday workflows:
   fleet against the policy server: optional ``--swap`` hot-swap,
   ``--canary`` rollout with automatic rollback, and ``--shards``
   fork-isolated scale-out (see ``docs/SERVING.md``).
+* ``learn``    — run the resilient online-learning loop: the fleet
+  streams experience into crash-safe journals, the central learner
+  ingests them with exact-resume cursors (``--resume`` after a kill is
+  bit-identical), and every ``--promote-every`` rounds the updated
+  policy goes through the guarded canary/watchdog promotion path with
+  measured regression recovery (see ``docs/ONLINE_LEARNING.md``).
 
 Invoke as ``python -m repro <subcommand> ...``.  Structured library errors
 (:class:`repro.errors.ReproError`) — including executor and manifest
@@ -303,6 +309,43 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker processes for --shards (default: "
                               "one per shard, capped by the executor)")
     p_serve.add_argument("--telemetry", metavar="PATH",
+                         help="stream structured events/spans/metrics to "
+                              "this JSONL file (must not already exist)")
+
+    p_learn = sub.add_parser(
+        "learn", help="run the resilient online-learning loop: fleet -> "
+                      "experience journals -> learner -> guarded promotion")
+    p_learn.add_argument("--registry", required=True, metavar="DIR",
+                         help="policy-registry directory (created, and "
+                              "seeded with a quickly trained policy, when "
+                              "empty)")
+    p_learn.add_argument("--workdir", required=True, metavar="DIR",
+                         help="loop working directory holding the "
+                              "experience journals and the learner's "
+                              "crash-safe checkpoint")
+    p_learn.add_argument("--rounds", type=int, default=6,
+                         help="fleet/ingest/promote rounds to run "
+                              "(default 6)")
+    p_learn.add_argument("--steps", type=int, default=30,
+                         help="simulated seconds per vehicle per round "
+                              "(default 30)")
+    p_learn.add_argument("--vehicles", type=int, default=512,
+                         help="fleet population size (default 512)")
+    p_learn.add_argument("--promote-every", type=int, default=2,
+                         help="attempt a guarded promotion every this "
+                              "many rounds (default 2)")
+    p_learn.add_argument("--resume", action="store_true",
+                         help="resume the learner from its checkpoint in "
+                              "--workdir (bit-identical to never having "
+                              "been killed)")
+    p_learn.add_argument("--seed", type=int, default=42)
+    p_learn.add_argument("--cycle", default="NYCC",
+                         help="training cycle when seeding an empty "
+                              "registry (default NYCC)")
+    p_learn.add_argument("--train-episodes", type=int, default=5,
+                         help="training budget when seeding an empty "
+                              "registry (default 5)")
+    p_learn.add_argument("--telemetry", metavar="PATH",
                          help="stream structured events/spans/metrics to "
                               "this JSONL file (must not already exist)")
     return parser
@@ -637,6 +680,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_learn(args) -> int:
+    from repro.learn import OnlineLearningLoop
+    from repro.serve import FleetConfig, PolicyRegistry
+
+    registry = PolicyRegistry(args.registry)
+    if not registry.versions():
+        if args.train_episodes < 1:
+            raise ConfigurationError(
+                f"registry {args.registry} is empty and --train-episodes "
+                "is 0; publish a policy first or allow seeding")
+        solver = PowertrainSolver(default_vehicle())
+        controller = build_rl_controller(solver, seed=args.seed)
+        cycle = standard_cycle(args.cycle)
+        _LOG.info("registry %s is empty; training %d episode(s) on %s",
+                  args.registry, args.train_episodes, cycle)
+        train(Simulator(solver), controller, cycle,
+              episodes=args.train_episodes, evaluate_after=False)
+        version = registry.publish(controller.agent)
+        _LOG.info("published trained policy as v%d", version)
+
+    config = FleetConfig(vehicles=args.vehicles, steps=args.steps,
+                         seed=args.seed)
+    with _telemetry_session(args.telemetry) as telemetry:
+        with OnlineLearningLoop(registry, args.workdir,
+                                fleet_config=config,
+                                promote_every=args.promote_every,
+                                resume=args.resume,
+                                telemetry=telemetry) as loop:
+            print(f"online loop: v{loop.server.active_version} incumbent, "
+                  f"{args.vehicles} vehicles x {args.steps} steps/round"
+                  + (", resumed from checkpoint" if args.resume
+                     and loop.learner.ingests else ""))
+            report = loop.run(args.rounds)
+            for rnd in report.rounds:
+                line = (f"  round {rnd.round:2d}: {rnd.decisions} "
+                        f"decisions, reward {rnd.mean_reward:8.4f}, "
+                        f"{rnd.records_streamed} streamed / "
+                        f"{rnd.records_ingested} ingested")
+                if rnd.records_shed:
+                    line += f", {rnd.records_shed} shed"
+                if rnd.quarantined:
+                    line += f", {rnd.quarantined} quarantined"
+                if rnd.watchdog_alert:
+                    line += f" [watchdog: {rnd.watchdog_alert}]"
+                if rnd.promotion is not None:
+                    line += (f" [v{rnd.promotion.candidate_version} "
+                             f"{rnd.promotion.outcome}]")
+                print(line)
+            print(f"  promotions {report.promotions}, rollbacks "
+                  f"{report.rollbacks}, serving v{report.final_version}")
+            for latency in report.recovery_latencies_s:
+                print(f"  regression recovered in {latency * 1e3:.1f} ms")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     scenarios = builtin_scenarios()
     print(f"{'name':15s} {'faults':>6s}  description")
@@ -671,6 +769,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "learn": _cmd_learn,
     }
     try:
         return handlers[args.command](args)

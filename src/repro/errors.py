@@ -104,6 +104,18 @@ class ServeError(ReproError, ValueError):
     of crashing (see ``docs/SERVING.md``)."""
 
 
+class ExperienceError(ReproError, ValueError):
+    """An experience record or journal violates the online-learning
+    contract (malformed or non-finite record fields, an unwritable
+    journal shard, a cursor whose content hash no longer matches the
+    journal it was taken from).
+
+    Record-level *corruption inside a journal* never aborts ingestion —
+    the learner quarantines the bad line, counts it honestly, and keeps
+    consuming (see ``docs/ONLINE_LEARNING.md``); this error marks the
+    codec/API boundary where a single record or cursor is rejected."""
+
+
 class TelemetryError(ReproError, ValueError):
     """The telemetry layer cannot record or read observability data (an
     event violating the declared schema, a corrupt event file, a metric

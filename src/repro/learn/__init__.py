@@ -1,0 +1,48 @@
+"""Fault-tolerant online learning at fleet scale (``docs/ONLINE_LEARNING.md``).
+
+The loop ROADMAP item 5 asks for, built survivably: fleet workers
+stream schema-validated experience into per-shard append-only JSONL
+journals (:mod:`repro.learn.journal` — torn-line amputation, corrupt
+-record quarantine, oldest-first backpressure shedding); a crash-safe
+central learner (:mod:`repro.learn.learner`) consumes them with
+content-hash exact-resume cursors and batch-invariant Q updates, so a
+kill-and-resume aggregate is bit-identical; candidates publish through
+the :class:`repro.serve.PolicyRegistry` and take traffic only via the
+guarded promotion pipeline (:mod:`repro.learn.promotion`) — canary,
+regression watchdog, auto-rollback with *measured* recovery time.
+
+Chaos kinds ``learn_journal_torn_batch`` and
+``learn_regressed_candidate`` attack exactly these guarantees.
+"""
+
+from repro.learn.journal import (DEFAULT_BUFFER_LIMIT, ExperienceStream,
+                                 JournalSlice, read_journal,
+                                 shard_filename)
+from repro.learn.learner import (IngestReport, OnlineLearner,
+                                 OnlineLearnerConfig)
+from repro.learn.loop import (LoopReport, OnlineLearningLoop, RoundReport)
+from repro.learn.promotion import (PromotionPipeline, PromotionReport,
+                                   RegressionWatchdog)
+from repro.learn.records import (RECORD_VERSION, ExperienceRecord,
+                                 decode_record, encode_record)
+
+__all__ = [
+    "DEFAULT_BUFFER_LIMIT",
+    "ExperienceRecord",
+    "ExperienceStream",
+    "IngestReport",
+    "JournalSlice",
+    "LoopReport",
+    "OnlineLearner",
+    "OnlineLearnerConfig",
+    "OnlineLearningLoop",
+    "PromotionPipeline",
+    "PromotionReport",
+    "RECORD_VERSION",
+    "RegressionWatchdog",
+    "RoundReport",
+    "decode_record",
+    "encode_record",
+    "read_journal",
+    "shard_filename",
+]

@@ -1,0 +1,147 @@
+"""Experience-record codec: one validated transition per JSONL line.
+
+An :class:`ExperienceRecord` is one fleet transition ``(s, a, r, s')``
+tagged with the policy version that produced the action, the global
+vehicle id, and the simulation step — the unit of currency of the
+online-learning loop (``docs/ONLINE_LEARNING.md``).  Records are
+encoded as single sorted-key JSON lines so a journal is greppable,
+diffable, and append-only-composable; JSON round-trips Python floats
+bit-exactly, so an encoded reward decodes to the same IEEE-754 value.
+
+Validation is the whole point of this module: *any* malformed line —
+truncation, a dropped field, a mistyped value, a non-finite reward, a
+bool smuggled into an integer field — decodes to a structured
+:class:`repro.errors.ExperienceError`, never to a record the learner
+would silently train on.  The journal reader quarantines (counts, skips)
+such lines; the codec itself never crashes on garbage (fuzz-tested with
+Hypothesis in ``tests/test_learn.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.errors import ExperienceError
+
+RECORD_VERSION = 1
+"""Schema version stamped into (and required of) every record line."""
+
+_MAX_LINE_BYTES = 1 << 16
+"""Upper bound on a plausible record line; longer claims are garbage."""
+
+_INT_FIELDS = ("state", "action", "next_state", "policy_version",
+               "vehicle_id", "step")
+"""Record fields that must be non-negative non-bool integers."""
+
+
+@dataclass(frozen=True)
+class ExperienceRecord:
+    """One validated fleet transition ``(s, a, r, s')``."""
+
+    state: int
+    """Discrete state id the decision was taken in."""
+
+    action: int
+    """Action id the serving policy chose."""
+
+    reward: float
+    """Decision reward (finite; the fleet's off-policy reward proxy)."""
+
+    next_state: int
+    """Discrete state id observed one step later."""
+
+    policy_version: int
+    """Registry version of the policy that produced the action (>= 1;
+    fallback decisions are never streamed, so version 0 cannot occur)."""
+
+    vehicle_id: int
+    """Global (fleet-wide) vehicle id, stable across shards."""
+
+    step: int
+    """Simulation step the decision was taken at."""
+
+    def __post_init__(self):
+        for name in _INT_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ExperienceError(
+                    f"experience field {name!r} must be an integer, got "
+                    f"{type(value).__name__} ({value!r})")
+            if value < 0:
+                raise ExperienceError(
+                    f"experience field {name!r} must be non-negative, "
+                    f"got {value}")
+        if self.policy_version < 1:
+            raise ExperienceError(
+                "experience records carry the serving policy version "
+                f"(>= 1); got {self.policy_version} — fallback decisions "
+                "are excluded from the training stream")
+        if isinstance(self.reward, bool) \
+                or not isinstance(self.reward, (int, float)):
+            raise ExperienceError(
+                f"experience reward must be a real number, got "
+                f"{type(self.reward).__name__} ({self.reward!r})")
+        if not math.isfinite(self.reward):
+            raise ExperienceError(
+                f"experience reward must be finite, got {self.reward!r}; "
+                "a non-finite reward would silently poison the Q-table")
+        object.__setattr__(self, "reward", float(self.reward))
+
+
+def encode_record(record: ExperienceRecord) -> str:
+    """One sorted-key JSON line (no trailing newline) for ``record``."""
+    return json.dumps({
+        "v": RECORD_VERSION,
+        "state": record.state,
+        "action": record.action,
+        "reward": record.reward,
+        "next_state": record.next_state,
+        "policy_version": record.policy_version,
+        "vehicle_id": record.vehicle_id,
+        "step": record.step,
+    }, sort_keys=True)
+
+
+def decode_record(line: str) -> ExperienceRecord:
+    """Decode and fully validate one journal line.
+
+    Every malformed shape — non-JSON, a non-object, an unknown or
+    missing field, a wrong type, a non-finite reward, an unsupported
+    schema version — raises :class:`repro.errors.ExperienceError`
+    naming the problem.  A successfully decoded record is safe to train
+    on by construction.
+    """
+    if len(line) > _MAX_LINE_BYTES:
+        raise ExperienceError(
+            f"experience line is implausibly long ({len(line)} bytes); "
+            "refusing to parse it")
+    try:
+        payload = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ExperienceError(
+            f"experience line is not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ExperienceError(
+            f"experience line must be a JSON object, got "
+            f"{type(payload).__name__}")
+    version = payload.get("v")
+    if version != RECORD_VERSION:
+        raise ExperienceError(
+            f"unsupported experience record version {version!r} (this "
+            f"reader understands {RECORD_VERSION})")
+    expected = set(_INT_FIELDS) | {"v", "reward"}
+    unknown = set(payload) - expected
+    if unknown:
+        raise ExperienceError(
+            f"experience line carries unknown fields {sorted(unknown)}")
+    missing = expected - set(payload)
+    if missing:
+        raise ExperienceError(
+            f"experience line is missing fields {sorted(missing)}")
+    return ExperienceRecord(
+        state=payload["state"], action=payload["action"],
+        reward=payload["reward"], next_state=payload["next_state"],
+        policy_version=payload["policy_version"],
+        vehicle_id=payload["vehicle_id"], step=payload["step"])

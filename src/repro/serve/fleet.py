@@ -28,6 +28,29 @@ matter for the robustness story:
   zero-current action (the LIMP_HOME analogue) and are counted as limp
   decisions.
 
+**Shard-count invariance.**  A fleet can be partitioned: ``vehicles``
+vehicles starting at ``vehicle_offset`` of a ``total_vehicles``-wide
+population.  Population attributes are drawn once for the *global*
+population and sliced, per-vehicle sensor-noise streams come from
+``SeedSequence([seed, 0x5EED]).spawn(total)`` keyed by global vehicle
+id, and rewards accumulate per vehicle and aggregate with
+:func:`math.fsum` (exactly-rounded, so grouping-free) — which is what
+makes :func:`run_fleet_sharded` aggregates bit-identical for any shard
+count, as long as no requests are shed (queue pressure is inherently
+per-server; the regression test uses a shed-free config).
+
+**Experience streaming.**  Given ``experience=`` (an
+:class:`repro.learn.ExperienceStream`-shaped object), served transitions
+are journaled as ``(s, a, r, s′, policy_version)`` records for the
+online learner — with the degradation wiring the loop depends on:
+vehicles with a faulty sensor (the fleet's DEGRADED analogue) are
+frozen out of the stream, limp/shed vehicles (the LIMP_HOME analogue)
+never produce records because they were not served, a degraded
+(fallback) server streams nothing at all, and a stream write failure
+freezes *streaming* for the rest of the run while serving continues
+untouched.  Streaming never alters decisions: a run with a stream
+attached is bit-identical to one without (golden-tested).
+
 Runs are deterministic for a given ``(config, server state)`` and
 bit-identical with telemetry attached or not (golden-tested).  For
 wall-clock scale beyond one process, :func:`run_fleet_sharded` splits
@@ -38,6 +61,7 @@ registry.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
@@ -45,7 +69,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.cycles import standard_cycle
-from repro.errors import ServeError
+from repro.errors import ExperienceError, ServeError
 from repro.rl.discretize import StateDiscretizer
 from repro.serve.registry import PolicyRegistry
 from repro.serve.server import PolicyServer
@@ -55,13 +79,17 @@ from repro.vehicle.dynamics import VehicleDynamics
 _BUS_VOLTAGE = 200.0
 """Nominal bus voltage used to convert auxiliary watts into amps."""
 
+_NOISE_STREAM_KEY = 0x5EED
+"""SeedSequence key separating sensor-noise streams from other draws."""
+
 
 @dataclass(frozen=True)
 class FleetConfig:
     """Shape of one fleet load-generation run."""
 
     vehicles: int = 1024
-    """Population size."""
+    """Population size this run drives (one shard's slice when
+    partitioned; the whole fleet otherwise)."""
 
     steps: int = 120
     """Simulated seconds each vehicle drives."""
@@ -90,6 +118,15 @@ class FleetConfig:
     seed: int = 0
     """Seed of population assignment and sensor noise."""
 
+    total_vehicles: Optional[int] = None
+    """Global fleet size when this run is one shard of a partitioned
+    fleet (``None`` = this run *is* the whole fleet).  Population
+    attributes and noise streams are keyed by global vehicle id, so
+    every partition of the same total is bit-identical in aggregate."""
+
+    vehicle_offset: int = 0
+    """First global vehicle id of this run's slice."""
+
     def __post_init__(self):
         if self.vehicles < 1:
             raise ServeError("a fleet needs at least one vehicle")
@@ -105,6 +142,17 @@ class FleetConfig:
             raise ServeError("fault_fraction must lie in [0, 1]")
         if self.request_batch < 1:
             raise ServeError("request_batch must be at least 1")
+        if self.vehicle_offset < 0:
+            raise ServeError("vehicle_offset cannot be negative")
+        if self.total_vehicles is not None and self.total_vehicles < 1:
+            raise ServeError("total_vehicles must be positive (or None)")
+        total = (self.total_vehicles if self.total_vehicles is not None
+                 else self.vehicles)
+        if self.vehicle_offset + self.vehicles > total:
+            raise ServeError(
+                f"vehicle slice [{self.vehicle_offset}, "
+                f"{self.vehicle_offset + self.vehicles}) exceeds the "
+                f"global population of {total}")
 
 
 @dataclass
@@ -131,7 +179,9 @@ class FleetResult:
     """SoC-window envelope clamps applied across the run."""
 
     mean_reward: float
-    """Mean decision reward under the run-start incumbent's Q-values."""
+    """Mean decision reward under the run-start incumbent's Q-values
+    (an exactly-rounded :func:`math.fsum` over per-vehicle totals, so
+    the value is independent of request batching and sharding)."""
 
     elapsed_s: float
     """Wall-clock of the run."""
@@ -158,16 +208,31 @@ class FleetResult:
     final_soc: Optional[np.ndarray] = None
     """Per-vehicle final state of charge when the trace was recorded."""
 
+    vehicle_rewards: Optional[np.ndarray] = None
+    """Per-vehicle summed decision rewards, in slice order (what shard
+    aggregation concatenates and :func:`math.fsum`\\ s)."""
+
+    experience_records: int = 0
+    """Experience records durably journaled during the run."""
+
+    experience_shed: int = 0
+    """Experience records shed oldest-first by stream backpressure."""
+
+    stream_errors: int = 0
+    """Stream write failures (each freezes streaming, never serving)."""
+
 
 class FleetSimulator:
     """Drives a heterogeneous vehicle population against a server."""
 
     def __init__(self, server: PolicyServer,
                  config: Optional[FleetConfig] = None,
-                 record_trace: bool = False):
+                 record_trace: bool = False,
+                 experience=None):
         self._server = server
         self._config = config or FleetConfig()
         self._record = record_trace
+        self._experience = experience
         params = default_vehicle()
         self._dynamics = VehicleDynamics(params.body)
         battery = params.battery
@@ -200,25 +265,50 @@ class FleetSimulator:
         return fingerprint or {}
 
     def run(self, steps: Optional[int] = None) -> FleetResult:
-        """Drive the configured population; returns the aggregates."""
+        """Drive the configured population; returns the aggregates.
+
+        When an experience stream is attached, each tick emits the
+        *previous* tick's served transitions (their successor state is
+        only observed now); the final tick's transitions have no
+        observed successor and are not emitted.
+        """
         cfg = self._config
         steps = cfg.steps if steps is None else int(steps)
-        rng = np.random.default_rng(cfg.seed)
         n = cfg.vehicles
+        lo = cfg.vehicle_offset
+        total = cfg.total_vehicles if cfg.total_vehicles is not None else n
+        window = slice(lo, lo + n)
+        rng = np.random.default_rng(cfg.seed)
 
         # Heterogeneous population: cycle x phase x aux x fault x SoC.
+        # All attribute draws cover the *global* population and are then
+        # sliced, so a shard sees exactly the vehicles the whole-fleet
+        # run would give it — the first half of shard-count invariance.
         speeds_per_cycle = [standard_cycle(name).speeds
                             for name in cfg.cycles]
         lengths = np.array([len(s) for s in speeds_per_cycle])
         offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
         flat_speeds = np.concatenate(speeds_per_cycle)
-        cycle_idx = rng.integers(0, len(cfg.cycles), size=n)
-        phase = rng.integers(0, lengths[cycle_idx])
-        aux = rng.choice(np.asarray(cfg.aux_loads, dtype=float), size=n)
-        faulty = rng.random(n) < cfg.fault_fraction
-        soc = rng.uniform(self._soc_min, self._soc_max, size=n)
-        noise_rng = np.random.default_rng(cfg.seed + 0x5EED)
-        vehicle_ids = np.arange(n, dtype=np.uint64)
+        cycle_all = rng.integers(0, len(cfg.cycles), size=total)
+        cycle_idx = cycle_all[window]
+        phase = rng.integers(0, lengths[cycle_all])[window]
+        aux = rng.choice(np.asarray(cfg.aux_loads, dtype=float),
+                         size=total)[window]
+        faulty = (rng.random(total) < cfg.fault_fraction)[window]
+        soc = rng.uniform(self._soc_min, self._soc_max, size=total)[window]
+        vehicle_ids = np.arange(lo, lo + n, dtype=np.uint64)
+
+        # The second half of the invariance: every vehicle owns a noise
+        # stream spawned from SeedSequence keyed by its *global* id, so
+        # a faulty vehicle observes the same noise whatever shard it
+        # lands in (and healthy vehicles consume no draws at all).
+        children = np.random.SeedSequence(
+            [cfg.seed, _NOISE_STREAM_KEY]).spawn(total)
+        noise = np.zeros((steps, n))
+        for i in np.flatnonzero(faulty):
+            noise[:, i] = np.random.default_rng(
+                children[lo + int(i)]).normal(0.0, cfg.sensor_noise,
+                                              size=steps)
 
         server = self._server
         reference = None
@@ -228,7 +318,17 @@ class FleetSimulator:
         canary_mask = (rollout.assign_mask(vehicle_ids)
                        if rollout is not None else np.zeros(n, dtype=bool))
 
-        reward_sum = 0.0
+        # Streaming requires a healthy serving policy: a degraded
+        # (fallback) server has no policy_version to attribute records
+        # to — the DEGRADED fleet freezes learning ingestion.
+        exp_stream = self._experience if reference is not None else None
+        stream = exp_stream
+        stream_errors = 0
+        records_before = exp_stream.written if exp_stream is not None else 0
+        shed_records_before = exp_stream.shed if exp_stream is not None else 0
+        prev: Optional[dict] = None
+
+        vehicle_reward = np.zeros(n)
         reward_count = 0
         served_total = 0
         interventions = 0
@@ -247,23 +347,39 @@ class FleetSimulator:
             accel = (flat_speeds[offsets[cycle_idx] + nxt] - speed) / cfg.dt
             p_dem = np.asarray(self._dynamics.power_demand(speed, accel),
                                dtype=float)
-            # Faulty vehicles observe a noisy SoC; the draw happens for
-            # the whole population every step so the stream is identical
-            # whatever the fault assignment or telemetry state.
-            noise = noise_rng.normal(0.0, cfg.sensor_noise, size=n)
-            obs_soc = np.clip(np.where(faulty, soc + noise, soc), 0.0, 1.0)
+            # Faulty vehicles observe a noisy SoC (healthy noise columns
+            # are exactly zero, so adding is the same as selecting).
+            obs_soc = np.clip(soc + noise[t], 0.0, 1.0)
             states = self._discretizer.state_of_batch(p_dem, speed, obs_soc)
+
+            # The previous tick's transitions are complete now that
+            # their successor states are observed; journal them.
+            # Streaming is strictly read-only with respect to serving:
+            # a write failure freezes the stream, never the fleet.
+            if stream is not None and prev is not None:
+                try:
+                    stream.offer_batch(
+                        prev["states"], prev["actions"], prev["rewards"],
+                        states[prev["idx"]], prev["versions"],
+                        vehicle_ids[prev["idx"]], step=t - 1)
+                    stream.flush()
+                except ExperienceError:
+                    stream_errors += 1
+                    stream = None
+            prev = None
 
             actions = np.full(n, self._zero_action, dtype=np.intp)
             served = np.zeros(n, dtype=bool)
+            tick_versions = np.full(n, server.active_version,
+                                    dtype=np.int64)
 
             # Submit the whole tick's requests before pumping once, so
             # the bounded queue sees real depth and deadline pressure.
             incumbent_idx = np.flatnonzero(~canary_mask)
             pending = {}
-            for lo in range(0, len(incumbent_idx), cfg.request_batch):
-                chunk = incumbent_idx[lo:lo + cfg.request_batch]
-                key = f"{t}:{lo}"
+            for batch_lo in range(0, len(incumbent_idx), cfg.request_batch):
+                chunk = incumbent_idx[batch_lo:batch_lo + cfg.request_batch]
+                key = f"{t}:{batch_lo}"
                 if not server.submit(states[chunk],
                                      deadline_s=cfg.deadline_s, key=key):
                     limp += len(chunk)
@@ -282,6 +398,8 @@ class FleetSimulator:
             if len(canary_idx) and server.canary is not None:
                 actions[canary_idx] = server.canary_decide(states[canary_idx])
                 served[canary_idx] = True
+                tick_versions[canary_idx] = \
+                    server.canary.candidate_version
 
             # Safety envelope at the SoC window edges: clamp to the
             # zero-current level and count the intervention.
@@ -295,7 +413,11 @@ class FleetSimulator:
 
             if reference is not None:
                 rewards = reference[states, actions]
-                reward_sum += float(rewards[served].sum())
+                srv = served
+                # Per-vehicle accumulation is elementwise — order- and
+                # grouping-free — so shard aggregation can fsum it back
+                # to the exact whole-fleet value.
+                vehicle_reward[srv] += rewards[srv]
                 reward_count += int(served.sum())
                 if server.canary is not None:
                     inc = served & ~canary_mask
@@ -308,6 +430,17 @@ class FleetSimulator:
                             True, rewards[can], int(np.sum(clamp & can)))
                         if verdict is not None:
                             canary_mask = np.zeros(n, dtype=bool)
+                if stream is not None:
+                    # Degradation wiring: faulty-sensor vehicles (the
+                    # DEGRADED analogue) are frozen out of the training
+                    # stream; limp/shed vehicles were never served, so
+                    # LIMP_HOME decisions cannot enter it either.
+                    idx = np.flatnonzero(served & ~faulty)
+                    if len(idx):
+                        prev = {"idx": idx, "states": states[idx],
+                                "actions": actions[idx],
+                                "rewards": rewards[idx],
+                                "versions": tick_versions[idx]}
 
             soc = np.clip(
                 soc - (current + aux / _BUS_VOLTAGE) * cfg.dt
@@ -322,7 +455,8 @@ class FleetSimulator:
             vehicles=n, steps=steps, decisions=decisions,
             shed_requests=server.shed_count - shed_before,
             limp_decisions=limp, interventions=interventions,
-            mean_reward=(reward_sum / reward_count if reward_count else 0.0),
+            mean_reward=(math.fsum(vehicle_reward) / reward_count
+                         if reward_count else 0.0),
             elapsed_s=elapsed,
             decisions_per_sec=decisions / elapsed,
             vehicles_per_min=n * 60.0 / elapsed,
@@ -332,21 +466,39 @@ class FleetSimulator:
                       if verdict == "rollback" and server.last_rollback
                       else None),
             actions=trace,
-            final_soc=soc.copy() if self._record else None)
+            final_soc=soc.copy() if self._record else None,
+            vehicle_rewards=vehicle_reward,
+            experience_records=(exp_stream.written - records_before
+                                if exp_stream is not None else 0),
+            experience_shed=(exp_stream.shed - shed_records_before
+                             if exp_stream is not None else 0),
+            stream_errors=stream_errors)
 
 
 def run_fleet_sharded(registry_root, config: FleetConfig, shards: int,
                       jobs: Optional[int] = None,
-                      timeout: Optional[float] = None) -> dict:
+                      timeout: Optional[float] = None,
+                      experience_dir=None) -> dict:
     """Split a fleet across fork-isolated workers, one server per shard.
 
     Every worker opens its own :class:`PolicyServer` over the shared
     registry (``activate_latest`` walks the same degradation ladder),
-    drives ``vehicles // shards`` of the population, and reports its
-    aggregates; the supervisor's quarantine semantics apply, so one
-    crashed shard is a recorded failure, not a lost campaign.  Returns
-    the fleet-wide aggregate dict (decisions, decisions/sec summed
-    across concurrently running shards, vehicles/min, shed counts).
+    drives its contiguous slice of the global population
+    (``vehicle_offset``/``total_vehicles``, so population assignment and
+    per-vehicle noise are bit-identical to the unsharded run), and
+    reports its aggregates; the supervisor's quarantine semantics apply,
+    so one crashed shard is a recorded failure, not a lost campaign.
+
+    With ``experience_dir`` set, each shard journals its served
+    transitions to its own ``shard-%04d.jsonl`` through an
+    :class:`repro.learn.ExperienceStream` — the fleet half of the
+    online-learning loop.
+
+    Returns the fleet-wide aggregate dict.  ``mean_reward`` is an
+    exactly-rounded :func:`math.fsum` over the concatenated per-vehicle
+    reward totals in global vehicle order, so (absent shedding, which
+    is per-server queue pressure) it is bit-identical for any shard
+    count — regression-tested 1 shard vs 4.
     """
     from repro.exec import Supervisor, Task
 
@@ -355,28 +507,45 @@ def run_fleet_sharded(registry_root, config: FleetConfig, shards: int,
     if shards > config.vehicles:
         raise ServeError(
             f"cannot split {config.vehicles} vehicles into {shards} shards")
+    if config.total_vehicles is not None or config.vehicle_offset:
+        raise ServeError(
+            "run_fleet_sharded partitions the whole fleet itself; pass a "
+            "config without total_vehicles/vehicle_offset")
     base = config.vehicles // shards
     counts = [base + (1 if i < config.vehicles % shards else 0)
               for i in range(shards)]
+    starts = [sum(counts[:i]) for i in range(shards)]
 
-    def _shard(index: int, count: int) -> dict:
+    def _shard(index: int, offset: int, count: int) -> dict:
         registry = PolicyRegistry(registry_root)
         server = PolicyServer(registry)
         server.activate_latest()
-        shard_cfg = replace(config, vehicles=count,
-                            seed=config.seed + 7919 * (index + 1))
-        result = FleetSimulator(server, shard_cfg).run()
+        shard_cfg = replace(config, vehicles=count, vehicle_offset=offset,
+                            total_vehicles=config.vehicles)
+        stream = None
+        if experience_dir is not None:
+            from repro.learn.journal import ExperienceStream
+            stream = ExperienceStream(experience_dir, shard=index)
+        try:
+            result = FleetSimulator(server, shard_cfg,
+                                    experience=stream).run()
+        finally:
+            if stream is not None:
+                stream.close()
         return {"decisions": result.decisions,
                 "shed_requests": result.shed_requests,
                 "limp_decisions": result.limp_decisions,
                 "interventions": result.interventions,
-                "mean_reward": result.mean_reward,
+                "vehicle_rewards": result.vehicle_rewards,
                 "elapsed_s": result.elapsed_s,
+                "experience_records": result.experience_records,
+                "experience_shed": result.experience_shed,
                 "active_version": server.active_version}
 
-    tasks = [Task(key=f"shard-{i}", fn=(lambda i=i, c=c: _shard(i, c)),
-                  spec={"shard": i, "vehicles": c})
-             for i, c in enumerate(counts)]
+    tasks = [Task(key=f"shard-{i}",
+                  fn=(lambda i=i, s=s, c=c: _shard(i, s, c)),
+                  spec={"shard": i, "offset": s, "vehicles": c})
+             for i, (s, c) in enumerate(zip(starts, counts))]
     supervisor = Supervisor(jobs=jobs or 1, timeout=timeout)
     sweep = supervisor.run(tasks)
     results = [sweep.results[task.key] for task in tasks
@@ -387,7 +556,10 @@ def run_fleet_sharded(registry_root, config: FleetConfig, shards: int,
     wall = max(r["elapsed_s"] for r in results)
     total_vehicles = sum(c for t, c in zip(tasks, counts)
                          if t.key in sweep.results)
-    weighted = sum(r["mean_reward"] * r["decisions"] for r in results)
+    # Concatenation in shard order is global vehicle order; fsum is
+    # exactly rounded, so the mean is grouping-independent.
+    all_rewards = np.concatenate(
+        [np.asarray(r["vehicle_rewards"], dtype=float) for r in results])
     return {
         "shards": len(results),
         "vehicles": total_vehicles,
@@ -395,10 +567,13 @@ def run_fleet_sharded(registry_root, config: FleetConfig, shards: int,
         "shed_requests": sum(r["shed_requests"] for r in results),
         "limp_decisions": sum(r["limp_decisions"] for r in results),
         "interventions": sum(r["interventions"] for r in results),
-        "mean_reward": (weighted / total_decisions if total_decisions
-                        else 0.0),
+        "mean_reward": (math.fsum(all_rewards) / total_decisions
+                        if total_decisions else 0.0),
         "elapsed_s": wall,
         "decisions_per_sec": total_decisions / wall,
         "vehicles_per_min": total_vehicles * 60.0 / wall,
+        "experience_records": sum(r["experience_records"]
+                                  for r in results),
+        "experience_shed": sum(r["experience_shed"] for r in results),
         "failures": len(sweep.failures),
     }

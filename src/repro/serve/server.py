@@ -511,6 +511,35 @@ class PolicyServer:
             self._canary_artifact = None
         return verdict
 
+    def abort_canary(self, reason: str = "aborted") -> None:
+        """Discard an in-flight canary without a statistical verdict.
+
+        The candidate is dropped exactly as a rollback drops it — the
+        incumbent never stopped serving — and :attr:`last_rollback`
+        records the abort so recovery latency stays measurable.  The
+        promotion pipeline uses this when a canary starves (e.g. a
+        cohort that never produces decisions) so an undecidable rollout
+        cannot pin the server forever.  Raises
+        :class:`~repro.errors.ServeError` when no canary is in flight.
+        """
+        if self._canary is None:
+            raise ServeError("no canary rollout is in flight")
+        rollout = self._canary
+        self.rollbacks += 1
+        self._count("serve.rollback")
+        self.last_rollback = {
+            "version": rollout.candidate_version,
+            "reason": reason,
+            "decisions": rollout.canary_decisions,
+            "latency_s": self._clock() - self._canary_started_at,
+        }
+        if self._telemetry is not None:
+            self._telemetry.event(
+                "serve_rollback", version=rollout.candidate_version,
+                reason=reason[:300], decisions=rollout.canary_decisions)
+        self._canary = None
+        self._canary_artifact = None
+
     # -- decisions ---------------------------------------------------------
 
     def _check_states(self, states: np.ndarray,

@@ -81,6 +81,11 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Any]] = {
                    "activated": str, "reason": str},
     # policy server: a canary candidate was rolled back
     "serve_rollback": {"version": int, "reason": str, "decisions": int},
+    # online learner: one ingest pass over the experience journals
+    "learn_ingest": {"journals": int, "records": int, "quarantined": int,
+                     "excluded": int},
+    # online loop: one guarded promotion attempt concluded
+    "learn_promotion": {"version": int, "outcome": str, "reason": str},
 }
 """Required typed fields per event type (extra fields are allowed)."""
 

@@ -529,6 +529,91 @@ class TestFleet:
         assert aggregate["vehicles"] == 40
         assert aggregate["decisions"] == 40 * 5
 
+    def test_shard_count_is_bit_invariant(self, policy, tmp_path):
+        # Regression test: per-vehicle draws and noise streams are keyed
+        # by GLOBAL vehicle id, and rewards are reduced with fsum, so
+        # splitting the same population across any shard count yields
+        # bit-identical aggregates (absent queue shedding).
+        table, fingerprint = policy
+        registry = _registry(tmp_path, table, fingerprint)
+        config = FleetConfig(vehicles=48, steps=12, seed=6)
+        one = run_fleet_sharded(registry.root, config, shards=1)
+        four = run_fleet_sharded(registry.root, config, shards=4)
+        assert four["failures"] == 0
+        for key in ("decisions", "interventions", "limp_decisions",
+                    "shed_requests"):
+            assert one[key] == four[key], key
+        assert one["mean_reward"] == four["mean_reward"]
+
+    def test_streaming_experience_changes_no_decision(self, policy,
+                                                      tmp_path):
+        from repro.learn import ExperienceStream, read_journal
+
+        table, fingerprint = policy
+        registry = _registry(tmp_path, table, fingerprint)
+        config = FleetConfig(vehicles=32, steps=10, seed=7)
+
+        def _run(experience=None):
+            server = PolicyServer(registry)
+            server.activate_latest()
+            return FleetSimulator(server, config,
+                                  experience=experience).run()
+
+        silent = _run()
+        stream = ExperienceStream(tmp_path / "journals")
+        streamed = _run(experience=stream)
+        stream.close()
+        # Streaming is decision-read-only: the fleet behaves identically.
+        assert streamed.decisions == silent.decisions
+        assert streamed.mean_reward == silent.mean_reward
+        assert streamed.interventions == silent.interventions
+        assert streamed.experience_records > 0
+        assert streamed.stream_errors == 0
+        piece = read_journal(stream.path)
+        assert len(piece.records) == streamed.experience_records
+        assert all(rec.policy_version == 1 for rec in piece.records)
+
+    def test_fully_faulty_fleet_streams_nothing(self, policy, tmp_path):
+        from repro.learn import ExperienceStream
+
+        table, fingerprint = policy
+        registry = _registry(tmp_path, table, fingerprint)
+        server = PolicyServer(registry)
+        server.activate_latest()
+        stream = ExperienceStream(tmp_path / "journals")
+        config = FleetConfig(vehicles=16, steps=8, seed=7,
+                             fault_fraction=1.0)
+        result = FleetSimulator(server, config, experience=stream).run()
+        stream.close()
+        assert result.decisions > 0  # degraded vehicles are still served
+        assert result.experience_records == 0
+
+    def test_stream_failure_freezes_streaming_not_serving(self, policy,
+                                                          tmp_path):
+        from repro.errors import ExperienceError
+        from repro.learn import ExperienceStream
+
+        class _BrokenStream(ExperienceStream):
+            def flush(self):
+                raise ExperienceError("journal disk on fire")
+
+        table, fingerprint = policy
+        registry = _registry(tmp_path, table, fingerprint)
+        server = PolicyServer(registry)
+        server.activate_latest()
+        config = FleetConfig(vehicles=24, steps=10, seed=7)
+        broken = _BrokenStream(tmp_path / "journals")
+        result = FleetSimulator(server, config, experience=broken).run()
+        broken.close()
+        # One structured failure froze streaming; serving never noticed.
+        assert result.stream_errors == 1
+        assert result.experience_records == 0
+        assert result.decisions + result.limp_decisions == 24 * 10
+        ref_server = PolicyServer(registry)
+        ref_server.activate_latest()
+        ref = FleetSimulator(ref_server, config).run()
+        assert result.mean_reward == ref.mean_reward
+
 
 class TestServeTelemetryGolden:
     def test_disabled_telemetry_is_bit_identical(self, policy, tmp_path):
